@@ -1,0 +1,124 @@
+//! PipeTransformer-style elasticity baseline (paper §6.2).
+//!
+//! PipeTransformer packs the remaining active layers onto fewer GPUs when
+//! layers freeze, but differs from DynMo in three ways the paper calls out:
+//! it can only *halve* the worker count, it estimates memory from parameter
+//! counts rather than measured usage, and it cannot rebalance — only
+//! re-pack.  This module reproduces those semantics so the elasticity
+//! comparison (Figure 4 discussion) can be run head-to-head with DynMo's
+//! Algorithm 2.
+
+use dynmo_pipeline::{LayerLoad, StageAssignment};
+use serde::{Deserialize, Serialize};
+
+/// Bytes PipeTransformer assumes each parameter occupies when estimating a
+/// worker's memory footprint (weights + gradients + fp32 Adam state at
+/// mixed precision).
+pub const PARAM_BYTES_PROXY: u64 = 16;
+
+/// The result of one PipeTransformer halving decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipeTransformerElasticity {
+    /// The new assignment over half the workers (uniform layer split, since
+    /// PipeTransformer does not load-balance).
+    pub new_assignment: StageAssignment,
+    /// Number of workers after halving.
+    pub new_worker_count: usize,
+    /// Estimated (parameter-proxy) memory per worker after halving.
+    pub estimated_bytes_per_worker: u64,
+}
+
+/// Attempt PipeTransformer's "divide the number of GPUs by 2" re-packing.
+///
+/// Returns `None` when halving is impossible: fewer than two active workers,
+/// or the parameter-proxy estimate says half the workers cannot hold the
+/// model within `memory_capacity`.
+pub fn plan_halving_repack(
+    current: &StageAssignment,
+    loads: &[LayerLoad],
+    memory_capacity: u64,
+) -> Option<PipeTransformerElasticity> {
+    let workers = current.num_stages();
+    if workers < 2 {
+        return None;
+    }
+    let new_workers = workers / 2;
+    // PipeTransformer estimates memory from parameter counts, not from the
+    // measured footprint.
+    let total_estimated: u64 = loads
+        .iter()
+        .map(|l| l.param_count * PARAM_BYTES_PROXY)
+        .sum();
+    let per_worker = total_estimated / new_workers.max(1) as u64;
+    if per_worker > memory_capacity {
+        return None;
+    }
+    Some(PipeTransformerElasticity {
+        new_assignment: StageAssignment::uniform(current.num_layers(), new_workers),
+        new_worker_count: new_workers,
+        estimated_bytes_per_worker: per_worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(n: usize, params: u64) -> Vec<LayerLoad> {
+        (0..n)
+            .map(|i| LayerLoad {
+                layer_id: i,
+                fwd_time: 1.0,
+                bwd_time: 2.0,
+                param_count: params,
+                static_bytes: params * 16,
+                activation_bytes: 0,
+                migration_bytes: params * 16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn halving_produces_a_uniform_split_over_half_the_workers() {
+        let current = StageAssignment::uniform(16, 8);
+        let plan = plan_halving_repack(&current, &loads(16, 1_000), u64::MAX).unwrap();
+        assert_eq!(plan.new_worker_count, 4);
+        assert_eq!(plan.new_assignment.num_stages(), 4);
+        assert_eq!(plan.new_assignment.counts(), vec![4, 4, 4, 4]);
+        assert_eq!(plan.estimated_bytes_per_worker, 16 * 1_000 * 16 / 4);
+    }
+
+    #[test]
+    fn halving_refuses_when_the_proxy_estimate_does_not_fit() {
+        let current = StageAssignment::uniform(16, 8);
+        // 16 layers × 1000 params × 16 B = 256 kB total; half the workers
+        // would need 64 kB each, above the 50 kB capacity.
+        assert!(plan_halving_repack(&current, &loads(16, 1_000), 50_000).is_none());
+        // ...but a single halving to 4 workers fits at 100 kB capacity.
+        assert!(plan_halving_repack(&current, &loads(16, 1_000), 100_000).is_some());
+    }
+
+    #[test]
+    fn halving_refuses_below_two_workers() {
+        let current = StageAssignment::uniform(8, 1);
+        assert!(plan_halving_repack(&current, &loads(8, 10), u64::MAX).is_none());
+    }
+
+    #[test]
+    fn parameter_proxy_ignores_actual_memory_shrinkage() {
+        // DynMo would see that frozen layers dropped their optimizer state
+        // (static_bytes shrank); PipeTransformer's proxy only looks at
+        // parameter counts, so both cases give the same estimate.
+        let current = StageAssignment::uniform(8, 4);
+        let mut shrunk = loads(8, 1_000);
+        for l in &mut shrunk {
+            l.static_bytes = 100; // much smaller measured footprint
+        }
+        let normal = plan_halving_repack(&current, &loads(8, 1_000), u64::MAX).unwrap();
+        let with_shrunk = plan_halving_repack(&current, &shrunk, u64::MAX).unwrap();
+        assert_eq!(
+            normal.estimated_bytes_per_worker,
+            with_shrunk.estimated_bytes_per_worker
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion bench behind Figure 4 (right): the cost of one balancing
+//! decision (the "algorithm" slice of the overhead breakdown) for the
+//! partition and diffusion balancers across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmo_core::balancer::{
+    BalanceObjective, BalanceRequest, DiffusionBalancer, LoadBalancer, PartitionBalancer,
+};
+use dynmo_pipeline::LayerLoad;
+
+fn synthetic_loads(layers: usize) -> Vec<LayerLoad> {
+    (0..layers)
+        .map(|i| {
+            let t = 0.5 + ((i * 2654435761) % 997) as f64 / 997.0 * 2.5;
+            LayerLoad {
+                layer_id: i,
+                fwd_time: t / 3.0,
+                bwd_time: 2.0 * t / 3.0,
+                param_count: (t * 1.0e6) as u64,
+                static_bytes: (t * 1.6e7) as u64,
+                activation_bytes: 1_000,
+                migration_bytes: (t * 1.6e7) as u64,
+            }
+        })
+        .collect()
+}
+
+fn bench_balancers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancing_decision");
+    for &stages in &[8usize, 24, 48] {
+        let loads = synthetic_loads(stages * 4);
+        let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime);
+        let partition = PartitionBalancer::new();
+        let diffusion = DiffusionBalancer::new();
+        group.bench_with_input(
+            BenchmarkId::new("partition", stages),
+            &request,
+            |b, request| b.iter(|| partition.rebalance(request)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("diffusion", stages),
+            &request,
+            |b, request| b.iter(|| diffusion.rebalance(request)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balancers);
+criterion_main!(benches);

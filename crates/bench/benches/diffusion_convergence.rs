@@ -1,0 +1,44 @@
+//! Criterion bench behind the Lemma 2 study: time (and rounds) for the
+//! diffusion balancer to converge as the worker count grows.  The Lemma 2
+//! bound itself is asserted by the `lemma2_convergence` binary and the
+//! balancer's property tests; this bench tracks the wall-clock scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmo_core::balancer::{BalanceObjective, BalanceRequest, DiffusionBalancer, LoadBalancer};
+use dynmo_pipeline::LayerLoad;
+
+fn skewed_loads(layers: usize, seed: u64) -> Vec<LayerLoad> {
+    (0..layers)
+        .map(|i| {
+            let x = ((i as u64 + 1).wrapping_mul(seed).wrapping_mul(0x9E3779B9)) % 1000;
+            let t = 0.1 + x as f64 / 300.0;
+            LayerLoad {
+                layer_id: i,
+                fwd_time: t / 3.0,
+                bwd_time: 2.0 * t / 3.0,
+                param_count: (t * 1.0e6) as u64,
+                static_bytes: (t * 1.6e7) as u64,
+                activation_bytes: 1_000,
+                migration_bytes: (t * 1.6e7) as u64,
+            }
+        })
+        .collect()
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffusion_convergence");
+    for &workers in &[4usize, 16, 64] {
+        let loads = skewed_loads(workers * 4, 11);
+        let request = BalanceRequest::new(&loads, workers, u64::MAX, BalanceObjective::ByTime);
+        let balancer = DiffusionBalancer::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &request,
+            |b, request| b.iter(|| balancer.rebalance(request)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Figure 3: end-to-end (simulated) training runs at
+//! smoke scale, static baseline vs the DynMo variants, for two
+//! representative cases.  Reported criterion times are the harness cost of
+//! the full run; the interesting output (tokens/sec, speedups) comes from
+//! the `fig3_throughput` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmo_bench::{run_configuration, BalancerKind, CaseConfig, DynamicCase, ExperimentScale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_end_to_end_smoke");
+    group.sample_size(10);
+    for case in [DynamicCase::EarlyExit, DynamicCase::MoeMixtral] {
+        for kind in [
+            BalancerKind::StaticMegatron,
+            BalancerKind::PartitionByTime,
+            BalancerKind::DiffusionByTime,
+        ] {
+            let config = CaseConfig::new(case, 24, ExperimentScale::Smoke);
+            group.bench_with_input(
+                BenchmarkId::new(case.label(), kind.label()),
+                &(config, kind),
+                |b, (config, kind)| {
+                    b.iter(|| run_configuration(config, *kind));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind the §4.2.2 SpMM study (ABL-SPMM): real CPU CSR
+//! SpMM vs dense GEMM across sparsity levels.  The crossover sparsity (where
+//! the sparse kernel overtakes the dense one) mirrors the Sputnik-vs-cuBLAS
+//! crossover the paper reports at ≈75%.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmo_sparse::{spmm, CsrMatrix, DenseMatrix};
+
+fn random_dense(rows: usize, cols: usize, sparsity: f64, seed: u64) -> DenseMatrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            if next() < sparsity {
+                0.0
+            } else {
+                (next() - 0.5) as f32
+            }
+        })
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_vs_dense");
+    group.sample_size(10);
+    let (m, k, n) = (512usize, 512usize, 128usize);
+    let b_mat = random_dense(k, n, 0.0, 7);
+    for &pct in &[0usize, 50, 75, 90, 99] {
+        let sparsity = pct as f64 / 100.0;
+        let a_dense = random_dense(m, k, sparsity, 42 + pct as u64);
+        let a_csr = CsrMatrix::from_dense(&a_dense);
+        group.bench_with_input(BenchmarkId::new("dense_gemm", pct), &a_dense, |bench, a| {
+            bench.iter(|| a.matmul(&b_mat));
+        });
+        group.bench_with_input(BenchmarkId::new("csr_spmm", pct), &a_csr, |bench, a| {
+            bench.iter(|| spmm(a, &b_mat));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

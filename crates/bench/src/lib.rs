@@ -1,0 +1,33 @@
+//! # dynmo-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! DynMo paper (see the experiment index in `DESIGN.md`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_idleness` | Figure 1 — average GPU idleness per dynamic-model scheme |
+//! | `fig3_throughput` | Figure 3 — end-to-end training throughput and speedups |
+//! | `fig4_repack` | Figure 4 (left/middle/bottom) — re-packing to fewer GPUs |
+//! | `fig4_overhead` | Figure 4 (right) — load-balancing overhead breakdown |
+//! | `lemma2_convergence` | Lemma 2 — diffusion convergence rounds vs the Õ(N²) bound |
+//! | `spmm_crossover` | §4.2.2 — Sputnik vs cuBLAS vs cuSPARSE crossover |
+//!
+//! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
+//! run time: `paper` uses the full 10,000-iteration schedules and the
+//! 720-GPU / 128-GPU cluster shapes; `default` keeps the cluster shapes but
+//! compresses the schedules into a few hundred iterations (the throughput
+//! comparisons are steady-state properties, so the shape of the results is
+//! preserved); `smoke` is a seconds-long sanity run used by CI.
+
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod scale;
+pub mod table;
+
+pub use cases::{
+    build_engine, headline_speedup, reference_throughput, run_comparison, run_configuration,
+    BalancerKind, CaseConfig, ConfigurationResult, DynamicCase,
+};
+pub use scale::{ExperimentScale, ScaledSchedules};
+pub use table::{dump_json, fmt, pct, Table};

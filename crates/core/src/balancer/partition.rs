@@ -1,0 +1,280 @@
+//! Centralized contiguous partitioning (paper §3.3, first balancer).
+//!
+//! "The first is centralized parameter-based partitioning that balances
+//! partitions based on the number of parameters.  The load balancing
+//! algorithm is built on top of DeepSpeed's load balancing utility functions
+//! for partitioning in model parallelism" — i.e. DeepSpeed's
+//! `partition_balanced`, which finds the contiguous split of the layer
+//! sequence that minimizes the heaviest stage.  DynMo runs the same
+//! algorithm on either parameter counts or measured layer times.
+//!
+//! The implementation is the textbook "minimize the maximum contiguous
+//! partition sum": binary search on the bottleneck value with a greedy
+//! feasibility probe, which is exactly binary search + linear probing as
+//! described in the paper's §5.
+
+use dynmo_pipeline::StageAssignment;
+
+use super::{BalanceOutcome, BalanceRequest, LoadBalancer};
+
+/// The centralized partitioning balancer.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionBalancer;
+
+impl PartitionBalancer {
+    /// Create a partition balancer.
+    pub fn new() -> Self {
+        PartitionBalancer
+    }
+}
+
+/// Greedy probe: can `weights` be split into at most `parts` contiguous
+/// groups each of sum ≤ `limit`?
+fn feasible(weights: &[f64], parts: usize, limit: f64) -> bool {
+    let mut used = 1usize;
+    let mut current = 0.0f64;
+    for &w in weights {
+        if w > limit {
+            return false;
+        }
+        if current + w > limit {
+            used += 1;
+            current = w;
+            if used > parts {
+                return false;
+            }
+        } else {
+            current += w;
+        }
+    }
+    true
+}
+
+/// Split `weights` into exactly `parts` contiguous groups minimizing the
+/// maximum group sum; returns per-group counts.
+pub fn partition_balanced(weights: &[f64], parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    if weights.is_empty() {
+        return vec![0; parts];
+    }
+    let total: f64 = weights.iter().sum();
+    let max_single = weights.iter().copied().fold(0.0, f64::max);
+    // Binary search on the bottleneck value.
+    let mut lo = max_single.max(total / parts as f64);
+    let mut hi = total;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(weights, parts, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let limit = hi * (1.0 + 1e-12);
+    // Greedy assignment under the found bottleneck, then pad to exactly
+    // `parts` groups (trailing empty stages are allowed: they correspond to
+    // workers left idle, which re-packing later releases).
+    let mut counts = Vec::with_capacity(parts);
+    let mut current = 0.0f64;
+    let mut count = 0usize;
+    for &w in weights {
+        if count > 0 && current + w > limit && counts.len() < parts - 1 {
+            counts.push(count);
+            count = 0;
+            current = 0.0;
+        }
+        count += 1;
+        current += w;
+    }
+    counts.push(count);
+    while counts.len() < parts {
+        counts.push(0);
+    }
+    counts
+}
+
+impl LoadBalancer for PartitionBalancer {
+    fn name(&self) -> String {
+        "partition".to_string()
+    }
+
+    fn rebalance(&self, request: &BalanceRequest<'_>) -> BalanceOutcome {
+        let weights: Vec<f64> = (0..request.loads.len()).map(|l| request.weight(l)).collect();
+        let mut counts = partition_balanced(&weights, request.num_stages);
+
+        // Memory feasibility pass: if the weight-balanced split blows a
+        // worker's memory budget, fall back to partitioning by memory bytes
+        // (feasibility dominates optimality, as in the paper's "subject to
+        // the constraints of memory capacity per worker").
+        if !memory_ok(request, &counts) {
+            let mem_weights: Vec<f64> = (0..request.loads.len())
+                .map(|l| {
+                    let inflight = *request.inflight.first().unwrap_or(&1) as u64;
+                    (request.loads[l].static_bytes
+                        + request.loads[l].activation_bytes * inflight) as f64
+                })
+                .collect();
+            counts = partition_balanced(&mem_weights, request.num_stages);
+        }
+
+        let assignment = StageAssignment::from_counts(&counts);
+        let bottleneck = stage_bottleneck(&weights, &counts);
+        BalanceOutcome {
+            assignment,
+            rounds: 1,
+            bottleneck,
+        }
+    }
+}
+
+fn stage_bottleneck(weights: &[f64], counts: &[usize]) -> f64 {
+    let mut best = 0.0f64;
+    let mut idx = 0usize;
+    for &c in counts {
+        let sum: f64 = weights[idx..idx + c].iter().sum();
+        best = best.max(sum);
+        idx += c;
+    }
+    best
+}
+
+fn memory_ok(request: &BalanceRequest<'_>, counts: &[usize]) -> bool {
+    let mut idx = 0usize;
+    for (stage, &c) in counts.iter().enumerate() {
+        let layers: Vec<usize> = (idx..idx + c).collect();
+        if request.stage_memory(stage, &layers) > request.memory_capacity {
+            return false;
+        }
+        idx += c;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::loads_from_times;
+    use super::super::{stage_weights, BalanceObjective};
+    use super::*;
+    use crate::imbalance::load_imbalance;
+
+    #[test]
+    fn feasibility_probe_matches_hand_cases() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        assert!(feasible(&w, 2, 6.0));
+        assert!(!feasible(&w, 2, 5.9));
+        assert!(feasible(&w, 4, 4.0));
+        assert!(!feasible(&w, 1, 9.9));
+        assert!(feasible(&w, 1, 10.0));
+    }
+
+    #[test]
+    fn partition_minimizes_the_bottleneck_on_uniform_weights() {
+        let weights = vec![1.0; 24];
+        let counts = partition_balanced(&weights, 4);
+        assert_eq!(counts, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn partition_handles_skewed_weights() {
+        // One huge layer: it must sit alone on a stage.
+        let mut weights = vec![1.0; 7];
+        weights.push(10.0);
+        let counts = partition_balanced(&weights, 3);
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        let bottleneck = stage_bottleneck(&weights, &counts);
+        assert_eq!(bottleneck, 10.0); // cannot do better than the single big layer
+    }
+
+    #[test]
+    fn partition_with_more_parts_than_layers_pads_empty_stages() {
+        let weights = vec![5.0, 5.0];
+        let counts = partition_balanced(&weights, 4);
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+        assert_eq!(counts.len(), 4);
+        assert_eq!(stage_bottleneck(&weights, &counts), 5.0);
+    }
+
+    #[test]
+    fn partition_of_empty_weights_is_all_empty() {
+        assert_eq!(partition_balanced(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rebalance_reduces_imbalance_versus_uniform_split() {
+        // Strongly decaying layer times (an early-exit-like profile).
+        let times: Vec<f64> = (0..24).map(|i| 1.0 / (1.0 + i as f64 * 0.2)).collect();
+        let loads = loads_from_times(&times);
+        let request = BalanceRequest::new(&loads, 4, u64::MAX, BalanceObjective::ByTime);
+        let outcome = PartitionBalancer::new().rebalance(&request);
+        assert!(outcome.assignment.is_contiguous());
+        assert_eq!(outcome.assignment.num_layers(), 24);
+        assert_eq!(outcome.rounds, 1);
+
+        let uniform = dynmo_pipeline::StageAssignment::uniform(24, 4);
+        let uniform_imb = load_imbalance(&stage_weights(&uniform, &loads, BalanceObjective::ByTime));
+        let balanced_imb = load_imbalance(&stage_weights(
+            &outcome.assignment,
+            &loads,
+            BalanceObjective::ByTime,
+        ));
+        assert!(
+            balanced_imb < uniform_imb * 0.5,
+            "balanced {balanced_imb} vs uniform {uniform_imb}"
+        );
+    }
+
+    #[test]
+    fn by_param_and_by_time_objectives_can_differ() {
+        // Times skewed toward late layers, params uniform.
+        let mut loads = loads_from_times(&vec![1.0; 12]);
+        for (i, load) in loads.iter_mut().enumerate() {
+            load.fwd_time = (i as f64 + 1.0) / 3.0;
+            load.bwd_time = 2.0 * (i as f64 + 1.0) / 3.0;
+            load.param_count = 1_000_000;
+        }
+        let by_time = PartitionBalancer::new().rebalance(&BalanceRequest::new(
+            &loads,
+            3,
+            u64::MAX,
+            BalanceObjective::ByTime,
+        ));
+        let by_param = PartitionBalancer::new().rebalance(&BalanceRequest::new(
+            &loads,
+            3,
+            u64::MAX,
+            BalanceObjective::ByParams,
+        ));
+        // By-param sees uniform weights → even 4/4/4 split.
+        assert_eq!(by_param.assignment.counts(), vec![4, 4, 4]);
+        // By-time puts fewer (heavy) layers on later stages.
+        let counts = by_time.assignment.counts();
+        assert!(counts[0] > counts[2], "counts {counts:?}");
+    }
+
+    #[test]
+    fn memory_constraint_falls_back_to_memory_partitioning() {
+        // Layer times are extremely skewed toward the first layer, but the
+        // memory budget cannot hold more than 3 layers per stage.
+        let mut loads = loads_from_times(&vec![1.0; 8]);
+        for (i, load) in loads.iter_mut().enumerate() {
+            load.fwd_time = if i == 0 { 100.0 } else { 0.001 };
+            load.bwd_time = 0.0;
+            load.static_bytes = 1_000;
+            load.activation_bytes = 0;
+        }
+        // By time, the optimizer would put layers 1..7 all on stage 1 (7
+        // layers × 1000 bytes = 7000 > 3500 capacity).
+        let request = BalanceRequest::new(&loads, 2, 3_500, BalanceObjective::ByTime)
+            .with_inflight(vec![0, 0]);
+        let outcome = PartitionBalancer::new().rebalance(&request);
+        let counts = outcome.assignment.counts();
+        // The memory fallback gives a 4/4 split that fits.
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(counts.iter().all(|&c| c <= 4), "counts {counts:?}");
+    }
+
+    #[test]
+    fn balancer_name_is_stable() {
+        assert_eq!(PartitionBalancer::new().name(), "partition");
+    }
+}

@@ -1,0 +1,95 @@
+//! Load-balancing overhead accounting (paper §5.2 and Figure 4, right).
+//!
+//! The paper breaks DynMo's overhead into three components — profiling, the
+//! balancing algorithm itself, and the migration of layers between GPUs —
+//! and reports them as a percentage of end-to-end training time per case.
+//! [`OverheadBreakdown`] accumulates exactly those three buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated overhead of DynMo's balancing machinery, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Time spent in profiling iterations.
+    pub profiling: f64,
+    /// Time spent running the balancing algorithm (decision time).
+    pub algorithm: f64,
+    /// Time spent migrating layer state between workers.
+    pub migration: f64,
+    /// Number of rebalance events that contributed to the totals.
+    pub rebalance_events: u64,
+}
+
+impl OverheadBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one rebalance event's costs.
+    pub fn record(&mut self, profiling: f64, algorithm: f64, migration: f64) {
+        self.profiling += profiling;
+        self.algorithm += algorithm;
+        self.migration += migration;
+        self.rebalance_events += 1;
+    }
+
+    /// Total overhead in seconds.
+    pub fn total(&self) -> f64 {
+        self.profiling + self.algorithm + self.migration
+    }
+
+    /// Overhead as a fraction of `training_time` (0 when training time is
+    /// not positive).
+    pub fn fraction_of(&self, training_time: f64) -> f64 {
+        if training_time <= 0.0 {
+            return 0.0;
+        }
+        self.total() / training_time
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &OverheadBreakdown) {
+        self.profiling += other.profiling;
+        self.algorithm += other.algorithm;
+        self.migration += other.migration;
+        self.rebalance_events += other.rebalance_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_the_three_buckets() {
+        let mut o = OverheadBreakdown::new();
+        o.record(1.0, 0.1, 0.5);
+        o.record(2.0, 0.2, 1.0);
+        assert_eq!(o.profiling, 3.0);
+        assert!((o.algorithm - 0.3).abs() < 1e-12);
+        assert_eq!(o.migration, 1.5);
+        assert_eq!(o.rebalance_events, 2);
+        assert!((o.total() - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_training_time() {
+        let mut o = OverheadBreakdown::new();
+        o.record(1.0, 1.0, 2.0);
+        assert!((o.fraction_of(400.0) - 0.01).abs() < 1e-12);
+        assert_eq!(o.fraction_of(0.0), 0.0);
+        assert_eq!(o.fraction_of(-5.0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_breakdowns() {
+        let mut a = OverheadBreakdown::new();
+        a.record(1.0, 2.0, 3.0);
+        let mut b = OverheadBreakdown::new();
+        b.record(0.5, 0.5, 0.5);
+        a.merge(&b);
+        assert_eq!(a.total(), 7.5);
+        assert_eq!(a.rebalance_events, 2);
+    }
+}

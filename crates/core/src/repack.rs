@@ -1,0 +1,301 @@
+//! Workload re-packing onto fewer workers (paper §3.4, Algorithm 2).
+//!
+//! As dynamism shrinks the total workload (pruning, freezing, early exit),
+//! DynMo consolidates layers onto fewer GPUs with a first-fit pass over
+//! worker pairs, subject to the per-GPU memory budget, and releases the
+//! emptied GPUs to the job manager.  Re-packing is scheduled at the end of a
+//! training iteration (on the existing synchronization barrier) and is
+//! infrequent compared to rebalancing.
+
+use dynmo_pipeline::{LayerLoad, StageAssignment};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the re-packing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepackConfig {
+    /// Per-worker memory budget in bytes (`MAX_MEM` in Algorithm 2).
+    pub max_memory: u64,
+    /// Do not consolidate below this many active workers
+    /// (`target_num_workers` in Algorithm 2; the paper lets the user pick
+    /// an arbitrary target, unlike PipeTransformer's divide-by-two).
+    pub target_num_workers: usize,
+    /// Safety factor applied to the memory budget (a destination is only
+    /// used up to `max_memory * utilization_cap`).
+    pub utilization_cap: f64,
+}
+
+impl RepackConfig {
+    /// A config with the given budget, a target of 1 worker, and a 90%
+    /// utilization cap.
+    pub fn new(max_memory: u64) -> Self {
+        RepackConfig {
+            max_memory,
+            target_num_workers: 1,
+            utilization_cap: 0.9,
+        }
+    }
+}
+
+/// One layer transfer produced by Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepackTransfer {
+    /// Source worker (stage) index.
+    pub src: usize,
+    /// Destination worker (stage) index.
+    pub dst: usize,
+    /// The layer being moved.
+    pub layer: usize,
+}
+
+/// The outcome of a re-packing decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepackPlan {
+    /// The transfers to execute, in order (`transfers` in Algorithm 2).
+    pub transfers: Vec<RepackTransfer>,
+    /// The assignment after applying all transfers.
+    pub new_assignment: StageAssignment,
+    /// Workers that still hold layers after re-packing.
+    pub active_workers: Vec<usize>,
+    /// Workers freed by this plan (to be released to the job manager).
+    pub released_workers: Vec<usize>,
+    /// Per-worker memory usage after re-packing, in bytes.
+    pub memory_after: Vec<u64>,
+}
+
+impl RepackPlan {
+    /// Whether the plan actually frees any workers.
+    pub fn releases_any(&self) -> bool {
+        !self.released_workers.is_empty()
+    }
+}
+
+/// Run Algorithm 2 (first-fit pairwise consolidation) over the current
+/// assignment.
+///
+/// * `assignment` — the current layer→stage map.
+/// * `loads` — profiled per-layer loads (for memory accounting).
+/// * `inflight` — in-flight micro-batches per stage (activation memory).
+/// * `config` — memory budget and consolidation target.
+pub fn plan_repack(
+    assignment: &StageAssignment,
+    loads: &[LayerLoad],
+    inflight: &[usize],
+    config: &RepackConfig,
+) -> RepackPlan {
+    let num_stages = assignment.num_stages();
+    assert_eq!(inflight.len(), num_stages, "one inflight count per stage");
+    assert_eq!(
+        loads.len(),
+        assignment.num_layers(),
+        "one load per assigned layer"
+    );
+    let budget = (config.max_memory as f64 * config.utilization_cap) as u64;
+
+    // Current per-worker memory usage and layer lists.
+    let mut stage_layers: Vec<Vec<usize>> = (0..num_stages)
+        .map(|s| assignment.layers_of(s))
+        .collect();
+    let mut mem_usage: Vec<u64> = (0..num_stages)
+        .map(|s| stage_memory(&stage_layers[s], loads, inflight[s]))
+        .collect();
+    let mut active: Vec<bool> = stage_layers.iter().map(|l| !l.is_empty()).collect();
+    let mut transfers = Vec::new();
+
+    // Algorithm 2: for each pair (src, dst) with src < dst, if the combined
+    // usage fits and we are still above the target, move everything from
+    // src to dst and deactivate src.
+    for src in 0..num_stages {
+        for dst in (src + 1)..num_stages {
+            if !active[src] || !active[dst] {
+                continue;
+            }
+            let active_count = active.iter().filter(|&&a| a).count();
+            if active_count <= config.target_num_workers {
+                break;
+            }
+            if mem_usage[src] + mem_usage[dst] <= budget {
+                // Move all of src's layers to dst.
+                let moving = std::mem::take(&mut stage_layers[src]);
+                for &layer in &moving {
+                    transfers.push(RepackTransfer {
+                        src,
+                        dst,
+                        layer,
+                    });
+                }
+                stage_layers[dst].extend(moving);
+                stage_layers[dst].sort_unstable();
+                mem_usage[dst] += mem_usage[src];
+                mem_usage[src] = 0;
+                active[src] = false;
+            }
+        }
+    }
+
+    // Build the resulting assignment.
+    let mut layer_to_stage = vec![0usize; assignment.num_layers()];
+    for (stage, layers) in stage_layers.iter().enumerate() {
+        for &layer in layers {
+            layer_to_stage[layer] = stage;
+        }
+    }
+    let new_assignment = StageAssignment::new(num_stages, layer_to_stage)
+        .expect("repacked assignment uses existing stages");
+    let active_workers: Vec<usize> = (0..num_stages).filter(|&s| active[s]).collect();
+    let released_workers: Vec<usize> = (0..num_stages)
+        .filter(|&s| !active[s] && !assignment.layers_of(s).is_empty())
+        .collect();
+
+    RepackPlan {
+        transfers,
+        new_assignment,
+        active_workers,
+        released_workers,
+        memory_after: mem_usage,
+    }
+}
+
+fn stage_memory(layers: &[usize], loads: &[LayerLoad], inflight: usize) -> u64 {
+    layers
+        .iter()
+        .map(|&l| loads[l].static_bytes + loads[l].activation_bytes * inflight as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(id: usize, static_bytes: u64) -> LayerLoad {
+        LayerLoad {
+            layer_id: id,
+            fwd_time: 1.0,
+            bwd_time: 2.0,
+            param_count: 100,
+            static_bytes,
+            activation_bytes: 0,
+            migration_bytes: static_bytes,
+        }
+    }
+
+    fn simple_case(per_layer_bytes: u64, layers_per_stage: usize, stages: usize) -> (StageAssignment, Vec<LayerLoad>) {
+        let num_layers = layers_per_stage * stages;
+        let assignment = StageAssignment::uniform(num_layers, stages);
+        let loads: Vec<LayerLoad> = (0..num_layers).map(|i| load(i, per_layer_bytes)).collect();
+        (assignment, loads)
+    }
+
+    #[test]
+    fn repack_consolidates_when_memory_allows() {
+        // 4 stages × 2 layers × 100 bytes; budget 900 ⇒ everything fits on
+        // one worker (first-fit: stage 0 absorbs 1, 2, 3).
+        let (assignment, loads) = simple_case(100, 2, 4);
+        let config = RepackConfig {
+            max_memory: 1_000,
+            target_num_workers: 1,
+            utilization_cap: 0.9,
+        };
+        let plan = plan_repack(&assignment, &loads, &[1; 4], &config);
+        assert!(plan.releases_any());
+        assert_eq!(plan.active_workers.len(), 1);
+        assert_eq!(plan.released_workers.len(), 3);
+        assert_eq!(plan.new_assignment.active_stages().len(), 1);
+        // All 8 layers end up somewhere and none is duplicated.
+        assert_eq!(plan.new_assignment.num_layers(), 8);
+        // Algorithm 2's pairwise first-fit cascades: stage 0 merges into 1,
+        // then 1 (now 4 layers) into 2, then 2 (6 layers) into 3, so the
+        // transfer list records 2 + 4 + 6 = 12 movements.
+        assert_eq!(plan.transfers.len(), 12);
+    }
+
+    #[test]
+    fn repack_respects_the_memory_budget() {
+        // Each stage holds 400 bytes; budget 900 × 0.9 = 810 ⇒ only pairs
+        // can merge (400+400=800 ≤ 810, but 1200 > 810).
+        let (assignment, loads) = simple_case(200, 2, 4);
+        let config = RepackConfig {
+            max_memory: 900,
+            target_num_workers: 1,
+            utilization_cap: 0.9,
+        };
+        let plan = plan_repack(&assignment, &loads, &[1; 4], &config);
+        assert_eq!(plan.active_workers.len(), 2);
+        for &mem in &plan.memory_after {
+            assert!(mem <= 810);
+        }
+    }
+
+    #[test]
+    fn repack_honors_the_target_worker_count() {
+        let (assignment, loads) = simple_case(10, 2, 8);
+        let config = RepackConfig {
+            max_memory: u64::MAX / 4,
+            target_num_workers: 4,
+            utilization_cap: 1.0,
+        };
+        let plan = plan_repack(&assignment, &loads, &[1; 8], &config);
+        assert_eq!(plan.active_workers.len(), 4);
+        assert_eq!(plan.released_workers.len(), 4);
+    }
+
+    #[test]
+    fn repack_is_a_no_op_when_nothing_fits_together() {
+        let (assignment, loads) = simple_case(800, 2, 4);
+        let config = RepackConfig {
+            max_memory: 1_000,
+            target_num_workers: 1,
+            utilization_cap: 1.0,
+        };
+        let plan = plan_repack(&assignment, &loads, &[1; 4], &config);
+        assert!(!plan.releases_any());
+        assert_eq!(plan.new_assignment, assignment);
+        assert!(plan.transfers.is_empty());
+    }
+
+    #[test]
+    fn activation_memory_counts_against_the_budget() {
+        // Static memory alone would allow merging, but activations (scaled
+        // by in-flight micro-batches) push the pair over budget.
+        let assignment = StageAssignment::uniform(4, 2);
+        let loads: Vec<LayerLoad> = (0..4)
+            .map(|i| LayerLoad {
+                layer_id: i,
+                fwd_time: 1.0,
+                bwd_time: 2.0,
+                param_count: 1,
+                static_bytes: 100,
+                activation_bytes: 200,
+                migration_bytes: 100,
+            })
+            .collect();
+        let config = RepackConfig {
+            max_memory: 1_500,
+            target_num_workers: 1,
+            utilization_cap: 1.0,
+        };
+        // With 2 in-flight: each stage = 2·(100 + 400) = 1000 > 750 ⇒ no merge.
+        let plan = plan_repack(&assignment, &loads, &[2, 2], &config);
+        assert!(!plan.releases_any());
+        // With 1 in-flight: each stage = 600, pair = 1200 ≤ 1500 ⇒ merge.
+        let plan = plan_repack(&assignment, &loads, &[1, 1], &config);
+        assert!(plan.releases_any());
+    }
+
+    #[test]
+    fn already_empty_stages_are_not_reported_as_released() {
+        // Stage 2 is already empty before re-packing; releasing it again
+        // would double-free it at the job manager.
+        let assignment = StageAssignment::from_counts(&[2, 2, 0]);
+        let loads: Vec<LayerLoad> = (0..4).map(|i| load(i, 10)).collect();
+        let config = RepackConfig::new(1_000_000);
+        let plan = plan_repack(&assignment, &loads, &[1; 3], &config);
+        assert!(!plan.released_workers.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one inflight count per stage")]
+    fn inflight_length_must_match_stages() {
+        let (assignment, loads) = simple_case(10, 1, 4);
+        let _ = plan_repack(&assignment, &loads, &[1; 2], &RepackConfig::new(100));
+    }
+}

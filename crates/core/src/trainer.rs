@@ -1,0 +1,457 @@
+//! The end-to-end training loop (paper Figure 2).
+//!
+//! One [`Trainer`] drives: the dynamism engine (model/control-flow change),
+//! the profiler (per-layer times & memory), the rebalance controller
+//! (balance / re-pack / migrate), the pipeline simulator (iteration time,
+//! idleness, bubbles), the hybrid data-parallel throughput model, and the
+//! elastic job manager (GPU release).  The resulting
+//! [`TrainingReport`](crate::report::TrainingReport) carries every quantity
+//! the paper's evaluation section plots.
+
+use dynmo_dynamics::DynamismEngine;
+use dynmo_model::{ClusterConfig, Model};
+use dynmo_pipeline::memory::inflight_microbatches;
+use dynmo_pipeline::{
+    load::aggregate_stage_loads, CommCostModel, HybridThroughputModel, LayerLoad,
+    PipelineSimulator, ScheduleKind, StageAssignment,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::balancer::{stage_weights, BalanceObjective};
+use crate::controller::RebalanceController;
+use crate::elastic::{JobManager, MockJobManager};
+use crate::imbalance::{load_imbalance, ImbalanceHistory};
+use crate::overhead::OverheadBreakdown;
+use crate::profiler::Profiler;
+use crate::report::TrainingReport;
+
+/// Configuration of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// The cluster (pipeline stages, data parallelism, device).
+    pub cluster: ClusterConfig,
+    /// The pipeline schedule to simulate.
+    pub schedule: ScheduleKind,
+    /// Number of training iterations.
+    pub num_iterations: u64,
+    /// Number of micro-batches per pipeline per iteration.
+    pub num_microbatches: usize,
+    /// Fraction of the data-parallel gradient all-reduce hidden behind the
+    /// backward pass.
+    pub allreduce_overlap: f64,
+    /// The balancing objective used by the dynamic balancers.
+    pub objective: BalanceObjective,
+    /// Never consolidate below this many pipeline workers.
+    pub min_workers: usize,
+}
+
+impl TrainerConfig {
+    /// A configuration mirroring the paper's defaults for the given cluster:
+    /// 1F1B schedule, four micro-batches per GPU (per [20] in the paper),
+    /// mostly-overlapped gradient all-reduce.
+    pub fn paper_defaults(cluster: ClusterConfig, num_iterations: u64) -> Self {
+        TrainerConfig {
+            cluster,
+            schedule: ScheduleKind::OneFOneB,
+            num_iterations,
+            num_microbatches: cluster.pipeline_stages * 4,
+            allreduce_overlap: 0.8,
+            objective: BalanceObjective::ByTime,
+            min_workers: 1,
+        }
+    }
+
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cluster.validate()?;
+        if self.num_iterations == 0 {
+            return Err("num_iterations must be positive".into());
+        }
+        if self.num_microbatches == 0 {
+            return Err("num_microbatches must be positive".into());
+        }
+        if self.min_workers == 0 {
+            return Err("min_workers must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The end-to-end training loop.
+pub struct Trainer {
+    config: TrainerConfig,
+    model: Model,
+    profiler: Profiler,
+    controller: RebalanceController,
+    job_manager: MockJobManager,
+    initial_assignment: Option<StageAssignment>,
+}
+
+impl Trainer {
+    /// Build a trainer for `model` under `config`, using `controller` for
+    /// balancing decisions.
+    pub fn new(model: Model, config: TrainerConfig, controller: RebalanceController) -> Self {
+        config.validate().expect("invalid trainer configuration");
+        let profiler = Profiler::new(config.cluster.device);
+        let job_manager = MockJobManager::new(config.cluster.pipeline_stages);
+        Trainer {
+            config,
+            model,
+            profiler,
+            controller,
+            job_manager,
+            initial_assignment: None,
+        }
+    }
+
+    /// Override the initial layer→stage assignment (static baselines such as
+    /// DeepSpeed's parameter-balanced partitioning apply their split once,
+    /// before training, instead of starting from the Megatron uniform
+    /// split).  The assignment must cover every model layer and use at most
+    /// the cluster's pipeline stages.
+    pub fn with_initial_assignment(mut self, assignment: StageAssignment) -> Self {
+        assert_eq!(
+            assignment.num_layers(),
+            self.model.num_layers(),
+            "initial assignment must cover every model layer"
+        );
+        assert!(
+            assignment.num_stages() <= self.config.cluster.pipeline_stages,
+            "initial assignment uses more stages than the cluster has"
+        );
+        self.initial_assignment = Some(assignment);
+        self
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// The job manager (for inspecting fleet events after a run).
+    pub fn job_manager(&self) -> &MockJobManager {
+        &self.job_manager
+    }
+
+    /// Run `engine` for the configured number of iterations and report.
+    pub fn run(&mut self, engine: &mut dyn DynamismEngine) -> TrainingReport {
+        let comm = CommCostModel::new(self.config.cluster);
+        let simulator = PipelineSimulator::new(comm, self.config.schedule);
+        let hybrid = HybridThroughputModel::new(comm, self.config.allreduce_overlap);
+        let model_cfg = self.model.config().clone();
+
+        let mut assignment = self.initial_assignment.clone().unwrap_or_else(|| {
+            StageAssignment::uniform(
+                self.model.num_layers(),
+                self.config.cluster.pipeline_stages,
+            )
+        });
+        let mut active_workers = assignment.num_stages();
+        let mut loads: Vec<LayerLoad> = Vec::new();
+        let mut overhead = OverheadBreakdown::new();
+        let mut imbalance_history = ImbalanceHistory::new();
+
+        let mut total_time = 0.0f64;
+        let mut total_tokens: u64 = 0;
+        let mut idleness_sum = 0.0f64;
+        let mut bubble_sum = 0.0f64;
+        let mut active_worker_iterations = 0.0f64;
+        let mut cached_iteration_time = 0.0f64;
+        let mut cached_idleness = 0.0f64;
+        let mut cached_bubble = 0.0f64;
+        let mut cached_imbalance = 0.0f64;
+        let mut cached_tokens: u64 = 0;
+        let mut dirty = true;
+        let mut last_imbalance = 0.0f64;
+
+        for iteration in 0..self.config.num_iterations {
+            self.job_manager.set_iteration(iteration);
+            let update = engine.step(iteration);
+            if update.changed || loads.is_empty() {
+                loads = self.profiler.profile(&self.model, &update);
+                dirty = true;
+            }
+
+            // Rebalance when due (black-box fixed cadence, §3.2).
+            if self
+                .controller
+                .is_due(iteration, engine.rebalance_frequency())
+            {
+                let inflight: Vec<usize> = (0..active_workers)
+                    .map(|s| {
+                        inflight_microbatches(
+                            self.config.schedule,
+                            s,
+                            active_workers,
+                            self.config.num_microbatches,
+                        )
+                    })
+                    .collect();
+                let outcome = self.controller.rebalance(
+                    &assignment,
+                    &loads,
+                    self.config.cluster.device.memory_capacity,
+                    &inflight,
+                    &comm,
+                    self.config.min_workers,
+                    self.config.num_microbatches,
+                );
+                let profiling_cost = self.profiler.profiling_cost(&loads);
+                overhead.record(
+                    profiling_cost,
+                    outcome.algorithm_time,
+                    outcome.migration_time,
+                );
+                total_time += profiling_cost + outcome.algorithm_time + outcome.migration_time;
+                if !outcome.released_workers.is_empty() {
+                    self.job_manager.release(&outcome.released_workers);
+                }
+                if outcome.assignment != assignment
+                    || outcome.active_workers != active_workers
+                {
+                    dirty = true;
+                }
+                active_workers = outcome.active_workers;
+                assignment = outcome.assignment;
+            }
+
+            // Re-simulate the pipeline only when something changed.
+            if dirty {
+                let stage_loads = aggregate_stage_loads(
+                    &loads,
+                    assignment.layer_to_stage(),
+                    assignment.num_stages(),
+                );
+                let report =
+                    simulator.simulate(&model_cfg, &stage_loads, self.config.num_microbatches);
+                let throughput = hybrid.throughput(
+                    &model_cfg,
+                    &report,
+                    &stage_loads,
+                    self.config.num_microbatches,
+                );
+                cached_iteration_time = throughput.iteration_time;
+                cached_idleness = report.average_idleness();
+                cached_bubble = report.bubble_ratio();
+                cached_tokens = throughput.tokens_per_iteration;
+                cached_imbalance = load_imbalance(&stage_weights(
+                    &assignment,
+                    &loads,
+                    self.config.objective,
+                ));
+                dirty = false;
+            }
+
+            total_time += cached_iteration_time + engine.extra_overhead(iteration);
+            total_tokens += cached_tokens;
+            idleness_sum += cached_idleness;
+            bubble_sum += cached_bubble;
+            active_worker_iterations += active_workers as f64;
+            last_imbalance = cached_imbalance;
+            if iteration % 100 == 0 {
+                imbalance_history.record(iteration, cached_imbalance);
+            }
+        }
+
+        let iterations = self.config.num_iterations;
+        let tokens_per_second = if total_time > 0.0 {
+            total_tokens as f64 / total_time
+        } else {
+            0.0
+        };
+        let average_active_workers = active_worker_iterations / iterations as f64;
+        let gpu_seconds =
+            average_active_workers * self.config.cluster.data_parallel as f64 * total_time;
+        let total_gpus_now = active_workers * self.config.cluster.data_parallel;
+        TrainingReport {
+            balancer: self.controller.name(),
+            dynamism: engine.name(),
+            iterations,
+            total_time,
+            total_tokens,
+            tokens_per_second,
+            average_idleness: idleness_sum / iterations as f64,
+            average_bubble_ratio: bubble_sum / iterations as f64,
+            mean_imbalance: imbalance_history.mean(),
+            final_imbalance: last_imbalance,
+            overhead,
+            overhead_fraction: overhead.fraction_of(total_time),
+            rebalance_events: overhead.rebalance_events,
+            average_active_workers,
+            final_active_workers: total_gpus_now / self.config.cluster.data_parallel.max(1),
+            gpu_seconds,
+            tokens_per_second_per_gpu: if gpu_seconds > 0.0 {
+                total_tokens as f64 / gpu_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::{DiffusionBalancer, PartitionBalancer};
+    use crate::controller::RebalancePolicy;
+    use crate::repack::RepackConfig;
+    use dynmo_dynamics::{
+        EarlyExitEngine, EarlyExitMethod, FreezingEngine, FreezingPolicy, GradualPruningEngine,
+        PruningSchedule,
+    };
+    use dynmo_model::{DeviceSpec, ModelPreset};
+
+    fn small_cluster(stages: usize) -> ClusterConfig {
+        ClusterConfig {
+            gpus_per_node: stages,
+            pipeline_stages: stages,
+            data_parallel: 1,
+            device: DeviceSpec::h100_sxm5(),
+        }
+    }
+
+    fn config(stages: usize, iterations: u64) -> TrainerConfig {
+        TrainerConfig {
+            cluster: small_cluster(stages),
+            schedule: ScheduleKind::OneFOneB,
+            num_iterations: iterations,
+            num_microbatches: stages * 4,
+            allreduce_overlap: 0.8,
+            objective: BalanceObjective::ByTime,
+            min_workers: 1,
+        }
+    }
+
+    fn dynamic_controller() -> RebalanceController {
+        RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        )
+    }
+
+    fn static_controller() -> RebalanceController {
+        RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::disabled(),
+        )
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_values() {
+        let mut cfg = config(4, 10);
+        cfg.num_iterations = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config(4, 10);
+        cfg.num_microbatches = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config(4, 10);
+        cfg.min_workers = 0;
+        assert!(cfg.validate().is_err());
+        assert!(config(4, 10).validate().is_ok());
+    }
+
+    #[test]
+    fn dynamic_rebalancing_beats_static_on_early_exit() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut static_trainer = Trainer::new(model.clone(), config(8, 300), static_controller());
+        let mut dynamic_trainer =
+            Trainer::new(model.clone(), config(8, 300), dynamic_controller());
+
+        let mut engine_a = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 11);
+        let mut engine_b = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 11);
+        let static_report = static_trainer.run(&mut engine_a);
+        let dynamic_report = dynamic_trainer.run(&mut engine_b);
+
+        assert!(
+            dynamic_report.tokens_per_second > static_report.tokens_per_second * 1.2,
+            "dynamic {} vs static {}",
+            dynamic_report.tokens_per_second,
+            static_report.tokens_per_second
+        );
+        // Rebalancing reduces both idleness and measured imbalance.
+        assert!(dynamic_report.average_idleness < static_report.average_idleness);
+        assert!(dynamic_report.mean_imbalance < static_report.mean_imbalance);
+        assert!(dynamic_report.rebalance_events > 0);
+        assert_eq!(static_report.rebalance_events, 0);
+        // Overhead stays in the single-digit-percent range the paper claims.
+        assert!(dynamic_report.overhead_fraction < 0.1);
+    }
+
+    #[test]
+    fn diffusion_and_partition_reach_similar_throughput() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 32 });
+        let run = |controller: RebalanceController| {
+            let mut trainer = Trainer::new(model.clone(), config(8, 200), controller);
+            let mut engine = FreezingEngine::new(&model, FreezingPolicy::paper_default(), 3);
+            trainer.run(&mut engine)
+        };
+        let partition = run(RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        ));
+        let diffusion = run(RebalanceController::new(
+            Box::new(DiffusionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        ));
+        let ratio = diffusion.tokens_per_second / partition.tokens_per_second;
+        assert!(ratio > 0.85 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn repacking_reduces_average_gpu_usage_under_pruning() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        // Compress the pruning schedule into a short run.
+        let schedule = PruningSchedule {
+            initial_sparsity: 0.0,
+            final_sparsity: 0.9,
+            start_iteration: 50,
+            frequency: 50,
+            num_steps: 4,
+        };
+        let repack = RepackConfig {
+            max_memory: DeviceSpec::h100_sxm5().memory_capacity,
+            target_num_workers: 2,
+            utilization_cap: 0.9,
+        };
+        let controller = RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy {
+                enabled: true,
+                frequency: Some(dynmo_dynamics::RebalanceFrequency::EveryN(50)),
+                repack: Some(repack),
+            },
+        );
+        let mut trainer = Trainer::new(model.clone(), config(8, 400), controller);
+        let mut engine = GradualPruningEngine::new(&model, schedule, 5);
+        let report = trainer.run(&mut engine);
+        assert!(
+            report.average_active_workers < 8.0,
+            "average workers {}",
+            report.average_active_workers
+        );
+        assert!(report.final_active_workers < 8);
+        assert!(!trainer.job_manager().events().is_empty());
+        // Throughput per GPU must not collapse when consolidating.
+        assert!(report.tokens_per_second_per_gpu > 0.0);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut trainer = Trainer::new(model.clone(), config(4, 50), dynamic_controller());
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::AdpC, 1);
+        let report = trainer.run(&mut engine);
+        assert_eq!(report.iterations, 50);
+        assert!(report.total_time > 0.0);
+        assert_eq!(report.total_tokens, 50 * 16 * 2 * 2048);
+        let recomputed = report.total_tokens as f64 / report.total_time;
+        assert!((recomputed - report.tokens_per_second).abs() / recomputed < 1e-9);
+        assert!(report.average_bubble_ratio >= 0.0 && report.average_bubble_ratio < 1.0);
+        assert!(report.overhead_fraction >= 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Early exit of tokens (paper §2.5, §4.2.5).
+//!
+//! With confidence-based early exit (CALM, ADP-C) a token stops propagating
+//! once its prediction is confident enough, so later layers process fewer
+//! and fewer tokens.  The paper observes up to a 5× increase in bubble
+//! ratio, concentrated in late pipeline stages, and notes that early exit is
+//! the case that "benefits greatly from re-packing" because the load loss is
+//! concentrated at the end of the model.
+//!
+//! The engine models a per-layer survival probability: every token that has
+//! passed the exit-start layer continues to the next layer with probability
+//! `1 − exit_rate` (plus per-iteration noise), so the fraction of tokens
+//! reaching layer `i` decays geometrically with depth — the same shape as
+//! the measured CALM/ADP-C exit histograms.
+
+use dynmo_model::Model;
+use crate::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+
+/// Which early-exit method's exit aggressiveness to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EarlyExitMethod {
+    /// No early exit (baseline: all tokens traverse the full model).
+    None,
+    /// CALM-style confident adaptive language modeling (aggressive exits).
+    Calm,
+    /// ADP-C-style anytime dense prediction with confidence (milder exits).
+    AdpC,
+}
+
+impl EarlyExitMethod {
+    /// Per-layer exit probability once past the exit-start layer.
+    fn exit_rate(&self) -> f64 {
+        match self {
+            EarlyExitMethod::None => 0.0,
+            EarlyExitMethod::Calm => 0.10,
+            EarlyExitMethod::AdpC => 0.06,
+        }
+    }
+
+    /// Fraction of the model's depth after which tokens may start exiting.
+    fn exit_start_fraction(&self) -> f64 {
+        match self {
+            EarlyExitMethod::None => 1.0,
+            EarlyExitMethod::Calm => 0.25,
+            EarlyExitMethod::AdpC => 0.4,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EarlyExitMethod::None => "no-exit",
+            EarlyExitMethod::Calm => "calm",
+            EarlyExitMethod::AdpC => "adp-c",
+        }
+    }
+}
+
+/// Early-exit dynamism engine.
+#[derive(Debug, Clone)]
+pub struct EarlyExitEngine {
+    method: EarlyExitMethod,
+    transformer_layers: Vec<usize>,
+    num_layers: usize,
+    rng: Prng,
+    /// Most recent per-layer surviving-token fractions.
+    last_survival: Vec<f64>,
+}
+
+impl EarlyExitEngine {
+    /// Build an engine for `model` with the given method.
+    pub fn new(model: &Model, method: EarlyExitMethod, seed: u64) -> Self {
+        EarlyExitEngine {
+            method,
+            transformer_layers: model.transformer_layer_ids(),
+            num_layers: model.num_layers(),
+            rng: Prng::seed_from(seed),
+            last_survival: Vec::new(),
+        }
+    }
+
+    /// The method being emulated.
+    pub fn method(&self) -> EarlyExitMethod {
+        self.method
+    }
+
+    /// Per-layer token-survival fractions from the most recent step.
+    pub fn last_survival(&self) -> &[f64] {
+        &self.last_survival
+    }
+}
+
+impl DynamismEngine for EarlyExitEngine {
+    fn name(&self) -> String {
+        format!("early-exit/{}", self.method.label())
+    }
+
+    fn case(&self) -> DynamismCase {
+        DynamismCase::EarlyExit
+    }
+
+    fn step(&mut self, _iteration: u64) -> LoadUpdate {
+        let mut update = LoadUpdate::identity(self.num_layers);
+        self.last_survival = vec![1.0; self.num_layers];
+        if self.method == EarlyExitMethod::None {
+            return update;
+        }
+        let depth = self.transformer_layers.len();
+        let exit_start = (depth as f64 * self.method.exit_start_fraction()).floor() as usize;
+        let mut surviving = 1.0f64;
+        for (pos, &layer) in self.transformer_layers.iter().enumerate() {
+            if pos >= exit_start {
+                // Noisy per-layer exit rate: the confidence threshold
+                // interacts with the batch content.
+                let noise = 1.0 + (self.rng.next_f64() - 0.5) * 0.5;
+                let rate = (self.method.exit_rate() * noise).clamp(0.0, 0.9);
+                surviving *= 1.0 - rate;
+            }
+            self.last_survival[layer] = surviving;
+            update.fwd_scale[layer] = surviving;
+            update.bwd_scale[layer] = surviving;
+        }
+        // The head only processes surviving tokens too.
+        let head = self.num_layers - 1;
+        update.fwd_scale[head] = surviving;
+        update.bwd_scale[head] = surviving;
+        self.last_survival[head] = surviving;
+        update.changed = true;
+        update
+    }
+
+    fn rebalance_frequency(&self) -> RebalanceFrequency {
+        // Paper Figure 4 overhead table: early exit rebalances every ~100
+        // iterations.
+        RebalanceFrequency::EveryN(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmo_model::ModelPreset;
+
+    fn gpt() -> Model {
+        Model::from_preset(ModelPreset::Gpt { layers: 48 })
+    }
+
+    #[test]
+    fn no_exit_method_is_identity() {
+        let mut e = EarlyExitEngine::new(&gpt(), EarlyExitMethod::None, 1);
+        let u = e.step(0);
+        assert!(!u.changed);
+        assert!(u.fwd_scale.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn token_survival_decreases_monotonically_with_depth() {
+        let model = gpt();
+        let mut e = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 2);
+        let u = e.step(0);
+        u.validate().unwrap();
+        let tfm = model.transformer_layer_ids();
+        let survivals: Vec<f64> = tfm.iter().map(|&l| u.fwd_scale[l]).collect();
+        for w in survivals.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Early layers process all tokens.
+        assert_eq!(survivals[0], 1.0);
+        // The last layers process strictly fewer.
+        assert!(*survivals.last().unwrap() < 0.6);
+        // The head is scaled down with the final survival fraction.
+        assert!(u.fwd_scale[model.num_layers() - 1] < 0.6);
+    }
+
+    #[test]
+    fn calm_is_more_aggressive_than_adpc() {
+        let model = gpt();
+        let final_survival = |method: EarlyExitMethod| {
+            let mut e = EarlyExitEngine::new(&model, method, 7);
+            let u = e.step(0);
+            let tfm = model.transformer_layer_ids();
+            u.fwd_scale[*tfm.last().unwrap()]
+        };
+        let calm = final_survival(EarlyExitMethod::Calm);
+        let adpc = final_survival(EarlyExitMethod::AdpC);
+        assert!(calm < adpc, "calm {calm} adpc {adpc}");
+        assert!(adpc < 1.0);
+    }
+
+    #[test]
+    fn exit_profile_fluctuates_across_iterations() {
+        let model = gpt();
+        let mut e = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        e.step(0);
+        let a = e.last_survival().to_vec();
+        e.step(1);
+        let b = e.last_survival().to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn later_layers_lose_more_load_than_early_layers() {
+        // This is the property that makes early exit the case where
+        // re-packing helps most (paper §4.2.5).
+        let model = gpt();
+        let mut e = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 4);
+        let u = e.step(0);
+        let tfm = model.transformer_layer_ids();
+        let first_half: f64 = tfm[..24].iter().map(|&l| u.fwd_scale[l]).sum();
+        let second_half: f64 = tfm[24..].iter().map(|&l| u.fwd_scale[l]).sum();
+        assert!(second_half < first_half * 0.85);
+    }
+
+    #[test]
+    fn engine_metadata() {
+        let e = EarlyExitEngine::new(&gpt(), EarlyExitMethod::Calm, 5);
+        assert_eq!(e.case(), DynamismCase::EarlyExit);
+        assert_eq!(e.rebalance_frequency(), RebalanceFrequency::EveryN(100));
+        assert!(e.name().contains("calm"));
+        assert_eq!(e.method(), EarlyExitMethod::Calm);
+        assert_eq!(EarlyExitMethod::AdpC.label(), "adp-c");
+        assert_eq!(EarlyExitMethod::None.label(), "no-exit");
+    }
+}

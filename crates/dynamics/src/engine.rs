@@ -1,0 +1,226 @@
+//! The common interface every dynamism mechanism implements.
+//!
+//! DynMo "operates as a black-box approach where the load balancing happens
+//! at regular fixed intervals, without any knowledge of whether the model
+//! has changed or not" (§3.2).  The engines therefore do not talk to the
+//! balancer directly: they simply mutate per-layer load multipliers, and the
+//! profiler observes the result.  The [`LoadUpdate`] struct is that
+//! observable state.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's six dynamic-model cases an engine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DynamismCase {
+    /// §2.1 sparsely-activated Mixture of Experts.
+    MixtureOfExperts,
+    /// §2.2 gradual global parameter pruning.
+    ParameterPruning,
+    /// §2.3 adaptive layer freezing.
+    LayerFreezing,
+    /// §2.4 dynamic sparse (flash) attention.
+    SparseAttention,
+    /// §2.5 early exit of tokens.
+    EarlyExit,
+    /// §2.6 Mixture of Depths.
+    MixtureOfDepths,
+}
+
+impl DynamismCase {
+    /// All six cases in the order the paper presents them.
+    pub const ALL: [DynamismCase; 6] = [
+        DynamismCase::MixtureOfExperts,
+        DynamismCase::ParameterPruning,
+        DynamismCase::LayerFreezing,
+        DynamismCase::SparseAttention,
+        DynamismCase::EarlyExit,
+        DynamismCase::MixtureOfDepths,
+    ];
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DynamismCase::MixtureOfExperts => "Mixture of Experts",
+            DynamismCase::ParameterPruning => "Gradual Pruning",
+            DynamismCase::LayerFreezing => "Layer Freezing",
+            DynamismCase::SparseAttention => "Dynamic Sparse Attention",
+            DynamismCase::EarlyExit => "Early Exit",
+            DynamismCase::MixtureOfDepths => "Mixture of Depths",
+        }
+    }
+}
+
+/// How often DynMo should rebalance for a given dynamism case (paper §3.3.1:
+/// "for MoEs and MoDs, rebalancing is needed every iteration ... in gradual
+/// pruning, dynamism typically occurs every few thousand iterations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RebalanceFrequency {
+    /// Rebalance after every training iteration.
+    EveryIteration,
+    /// Rebalance every `n` iterations.
+    EveryN(u64),
+}
+
+impl RebalanceFrequency {
+    /// Whether a rebalance is due at `iteration` (1-based counting of
+    /// completed iterations).
+    pub fn is_due(&self, iteration: u64) -> bool {
+        match self {
+            RebalanceFrequency::EveryIteration => true,
+            RebalanceFrequency::EveryN(n) => *n != 0 && iteration % n == 0,
+        }
+    }
+}
+
+/// The per-layer load state produced by an engine after one iteration.
+///
+/// All vectors are indexed by *model layer id* (embedding = 0, transformer
+/// blocks, head last) and have length `num_layers`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadUpdate {
+    /// Multiplier on each layer's baseline forward compute (1.0 = baseline).
+    pub fwd_scale: Vec<f64>,
+    /// Multiplier on each layer's baseline backward compute.
+    pub bwd_scale: Vec<f64>,
+    /// Multiplier on each layer's static memory (weights/grads/optimizer).
+    pub memory_scale: Vec<f64>,
+    /// Fraction of each layer's parameters still present (pruning).
+    pub param_retention: Vec<f64>,
+    /// Whether the model or control flow changed at this iteration (i.e. a
+    /// dynamism event occurred).
+    pub changed: bool,
+}
+
+impl LoadUpdate {
+    /// An identity update (no dynamism yet) for a model with `num_layers`
+    /// layers.
+    pub fn identity(num_layers: usize) -> Self {
+        LoadUpdate {
+            fwd_scale: vec![1.0; num_layers],
+            bwd_scale: vec![1.0; num_layers],
+            memory_scale: vec![1.0; num_layers],
+            param_retention: vec![1.0; num_layers],
+            changed: false,
+        }
+    }
+
+    /// Number of layers covered by this update.
+    pub fn num_layers(&self) -> usize {
+        self.fwd_scale.len()
+    }
+
+    /// Validate internal consistency (equal lengths, non-negative scales).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.fwd_scale.len();
+        if self.bwd_scale.len() != n
+            || self.memory_scale.len() != n
+            || self.param_retention.len() != n
+        {
+            return Err("all LoadUpdate vectors must have the same length".into());
+        }
+        for (name, v) in [
+            ("fwd_scale", &self.fwd_scale),
+            ("bwd_scale", &self.bwd_scale),
+            ("memory_scale", &self.memory_scale),
+            ("param_retention", &self.param_retention),
+        ] {
+            if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err(format!("{name} contains a negative or non-finite value"));
+            }
+        }
+        if self.param_retention.iter().any(|x| *x > 1.0 + 1e-9) {
+            return Err("param_retention must be ≤ 1".into());
+        }
+        Ok(())
+    }
+
+    /// The total compute multiplier of a layer, weighting forward and
+    /// backward by the standard 1:2 ratio.
+    pub fn total_scale(&self, layer: usize) -> f64 {
+        (self.fwd_scale[layer] + 2.0 * self.bwd_scale[layer]) / 3.0
+    }
+}
+
+/// A dynamism mechanism: advances its internal state by one training
+/// iteration and reports the resulting per-layer load state.
+pub trait DynamismEngine {
+    /// A short name for logging and tables (e.g. "moe/s-base").
+    fn name(&self) -> String;
+
+    /// Which of the paper's six cases this engine implements.
+    fn case(&self) -> DynamismCase;
+
+    /// Advance to `iteration` (0-based) and return the resulting load state.
+    fn step(&mut self, iteration: u64) -> LoadUpdate;
+
+    /// The rebalancing cadence the paper prescribes for this case.
+    fn rebalance_frequency(&self) -> RebalanceFrequency;
+
+    /// Extra per-iteration wall-clock overhead (in seconds) the mechanism
+    /// itself imposes on training, outside of layer compute.  Used by
+    /// baseline wrappers such as Egeria, whose CPU-side reference-model
+    /// bookkeeping grows with the number of layers (paper §5.1, layer
+    /// freezing discussion); DynMo's own engines impose none.
+    fn extra_overhead(&self, _iteration: u64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_update_is_valid_and_neutral() {
+        let u = LoadUpdate::identity(5);
+        u.validate().unwrap();
+        assert_eq!(u.num_layers(), 5);
+        assert!(!u.changed);
+        assert_eq!(u.total_scale(0), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_mismatched_lengths_and_bad_values() {
+        let mut u = LoadUpdate::identity(3);
+        u.bwd_scale.pop();
+        assert!(u.validate().is_err());
+
+        let mut u = LoadUpdate::identity(3);
+        u.fwd_scale[1] = -0.5;
+        assert!(u.validate().is_err());
+
+        let mut u = LoadUpdate::identity(3);
+        u.memory_scale[2] = f64::NAN;
+        assert!(u.validate().is_err());
+
+        let mut u = LoadUpdate::identity(3);
+        u.param_retention[0] = 1.5;
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn total_scale_weights_bwd_twice() {
+        let mut u = LoadUpdate::identity(2);
+        u.fwd_scale[0] = 1.0;
+        u.bwd_scale[0] = 0.0; // frozen layer: forward only
+        assert!((u.total_scale(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebalance_frequency_due_logic() {
+        assert!(RebalanceFrequency::EveryIteration.is_due(1));
+        assert!(RebalanceFrequency::EveryIteration.is_due(999));
+        let every100 = RebalanceFrequency::EveryN(100);
+        assert!(every100.is_due(100));
+        assert!(every100.is_due(200));
+        assert!(!every100.is_due(150));
+        assert!(!RebalanceFrequency::EveryN(0).is_due(5));
+    }
+
+    #[test]
+    fn case_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            DynamismCase::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), DynamismCase::ALL.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The dynamism engines need reproducible per-iteration noise (routing
+//! skew, hash-bucket densities, predictor error).  A SplitMix64-based
+//! generator is sufficient for that purpose, is trivially `Clone` (so the
+//! engines can be cloned into sweeps and benchmarks), and keeps results
+//! bit-identical across platforms — which matters for the experiment
+//! harness that regenerates the paper's figures.
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Create a generator from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Prng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.  `bound` must be positive.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Prng::seed_from(42);
+        let mut b = Prng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_outputs_are_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Prng::seed_from(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_respects_the_bound() {
+        let mut rng = Prng::seed_from(11);
+        let mut seen = vec![false; 5];
+        for _ in 0..200 {
+            let v = rng.next_below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        let mut rng = Prng::seed_from(1);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn clone_preserves_the_stream_position() {
+        let mut rng = Prng::seed_from(5);
+        rng.next_u64();
+        let mut forked = rng.clone();
+        assert_eq!(rng.next_u64(), forked.next_u64());
+    }
+}

@@ -1,0 +1,146 @@
+//! Communication cost model (α–β model over the cluster's links).
+//!
+//! The simulator needs the time to (a) hand activations between adjacent
+//! pipeline stages, (b) all-reduce gradients across data-parallel replicas,
+//! (c) all-to-all tokens between expert-parallel ranks (MoE), and (d)
+//! migrate a layer's state between workers during rebalancing — the cost
+//! the paper's Figure 4 overhead breakdown calls "migration of layers
+//! between GPUs".
+
+use serde::{Deserialize, Serialize};
+
+use dynmo_model::{ClusterConfig, ModelConfig};
+
+/// Communication cost model bound to a cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommCostModel {
+    cluster: ClusterConfig,
+}
+
+impl CommCostModel {
+    /// Build a cost model for the given cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        CommCostModel { cluster }
+    }
+
+    /// The cluster this model describes.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Bytes of one micro-batch's activations at a pipeline stage boundary.
+    pub fn activation_bytes(&self, model: &ModelConfig) -> u64 {
+        (model.micro_batch_size * model.seq_len * model.hidden_size * model.param_bytes) as u64
+    }
+
+    /// Time to send one micro-batch's activations from `from_stage` to
+    /// `to_stage` (point-to-point, NVLink within a node, InfiniBand across).
+    pub fn activation_transfer_time(
+        &self,
+        model: &ModelConfig,
+        from_stage: usize,
+        to_stage: usize,
+    ) -> f64 {
+        let bytes = self.activation_bytes(model) as f64;
+        let intra = self.cluster.same_node(from_stage, to_stage);
+        self.cluster.device.transfer_time(bytes, intra)
+    }
+
+    /// Time for a ring all-reduce of `bytes` across `replicas` data-parallel
+    /// workers: `2·(n−1)/n · bytes / bandwidth` plus per-step latencies.
+    pub fn allreduce_time(&self, bytes: u64, replicas: usize) -> f64 {
+        if replicas <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        let n = replicas as f64;
+        let bw = self.cluster.device.inter_node_bandwidth;
+        let steps = 2.0 * (n - 1.0);
+        steps * self.cluster.device.link_latency + 2.0 * (n - 1.0) / n * bytes as f64 / bw
+    }
+
+    /// Time for an all-to-all exchange of `bytes_per_peer` with each of
+    /// `peers` ranks (the MoE token shuffle).
+    pub fn alltoall_time(&self, bytes_per_peer: u64, peers: usize) -> f64 {
+        if peers <= 1 || bytes_per_peer == 0 {
+            return 0.0;
+        }
+        let n = peers as f64;
+        let bw = self.cluster.device.inter_node_bandwidth;
+        (n - 1.0) * (self.cluster.device.link_latency + bytes_per_peer as f64 / bw)
+    }
+
+    /// Time to migrate `bytes` of layer state from stage `from` to stage
+    /// `to` during rebalancing.
+    pub fn migration_time(&self, bytes: u64, from_stage: usize, to_stage: usize) -> f64 {
+        if from_stage == to_stage || bytes == 0 {
+            return 0.0;
+        }
+        let intra = self.cluster.same_node(from_stage, to_stage);
+        self.cluster.device.transfer_time(bytes as f64, intra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmo_model::DeviceSpec;
+
+    fn model() -> ModelConfig {
+        ModelConfig::gpt(24)
+    }
+
+    fn comm() -> CommCostModel {
+        CommCostModel::new(ClusterConfig {
+            gpus_per_node: 4,
+            pipeline_stages: 8,
+            data_parallel: 2,
+            device: DeviceSpec::h100_sxm5(),
+        })
+    }
+
+    #[test]
+    fn activation_bytes_match_tensor_shape() {
+        let c = comm();
+        // 2 sequences × 2048 tokens × 1024 hidden × 2 bytes = 8 MiB.
+        assert_eq!(c.activation_bytes(&model()), 2 * 2048 * 1024 * 2);
+    }
+
+    #[test]
+    fn cross_node_activation_transfer_is_slower() {
+        let c = comm();
+        let within = c.activation_transfer_time(&model(), 0, 1);
+        let across = c.activation_transfer_time(&model(), 3, 4);
+        assert!(across > within);
+        assert!(within > 0.0);
+    }
+
+    #[test]
+    fn allreduce_time_scales_with_bytes_and_replicas() {
+        let c = comm();
+        assert_eq!(c.allreduce_time(1_000_000, 1), 0.0);
+        assert_eq!(c.allreduce_time(0, 8), 0.0);
+        let t2 = c.allreduce_time(1_000_000_000, 2);
+        let t8 = c.allreduce_time(1_000_000_000, 8);
+        assert!(t8 > t2);
+        let small = c.allreduce_time(1_000_000, 8);
+        assert!(small < t8);
+    }
+
+    #[test]
+    fn alltoall_time_scales_with_peer_count() {
+        let c = comm();
+        assert_eq!(c.alltoall_time(1_000_000, 1), 0.0);
+        let t4 = c.alltoall_time(1_000_000, 4);
+        let t16 = c.alltoall_time(1_000_000, 16);
+        assert!(t16 > t4);
+    }
+
+    #[test]
+    fn migration_is_free_within_the_same_stage() {
+        let c = comm();
+        assert_eq!(c.migration_time(1_000_000, 3, 3), 0.0);
+        assert_eq!(c.migration_time(0, 0, 1), 0.0);
+        assert!(c.migration_time(1_000_000, 0, 1) > 0.0);
+        assert!(c.migration_time(1_000_000, 0, 7) > c.migration_time(1_000_000, 0, 1));
+    }
+}

@@ -1,0 +1,45 @@
+//! # dynmo-pipeline
+//!
+//! Pipeline-parallel execution modeling for the DynMo reproduction.
+//!
+//! The paper measures how dynamic models create *bubbles* (idle time) in
+//! pipeline-parallel training and how rebalancing removes them.  On the
+//! paper's testbed those numbers come from running Megatron-Core on
+//! hundreds of H100s; here they come from a discrete-event simulation of
+//! the same pipeline schedules:
+//!
+//! * [`stage`] — the layer→stage assignment that the balancers manipulate,
+//!   plus [`load::LayerLoad`], the profiled per-layer cost snapshot.
+//! * [`schedule`] — micro-batch orderings for GPipe and 1F1B (the schedule
+//!   family Megatron/DeepSpeed use; the "almost zero-bubble" scheme of the
+//!   paper's Figure 1 is approximated by 1F1B with zero startup cost).
+//! * [`simulator`] — an event-driven simulation that tracks, for every
+//!   worker, when each forward/backward task can start given activation
+//!   dependencies and communication latencies, and reports makespan,
+//!   per-worker idleness and the bubble ratio.
+//! * [`comm`] — an α–β communication model for activations, gradient
+//!   all-reduce, MoE all-to-all, and layer migration.
+//! * [`memory`] — per-stage memory-capacity checks (OOM detection used by
+//!   re-packing).
+//! * [`data_parallel`] — hybrid data+pipeline parallel throughput
+//!   accounting (tokens/sec across replicas).
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod data_parallel;
+pub mod load;
+pub mod memory;
+pub mod metrics;
+pub mod schedule;
+pub mod simulator;
+pub mod stage;
+
+pub use comm::CommCostModel;
+pub use data_parallel::HybridThroughputModel;
+pub use load::LayerLoad;
+pub use memory::{check_stage_memory, StageMemoryReport};
+pub use metrics::{IterationReport, WorkerTimeline};
+pub use schedule::ScheduleKind;
+pub use simulator::PipelineSimulator;
+pub use stage::StageAssignment;

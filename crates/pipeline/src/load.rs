@@ -1,0 +1,179 @@
+//! Profiled per-layer load snapshots.
+//!
+//! A [`LayerLoad`] is what DynMo's profiling iteration produces for every
+//! layer after a dynamism event: its *current* forward/backward execution
+//! time, parameter count, and memory footprint.  Both balancer families
+//! consume this structure — the "by parameters" variants read
+//! `param_count`, the "by execution time" variants read the time fields —
+//! and the re-packing algorithm reads the memory fields.
+
+use serde::{Deserialize, Serialize};
+
+/// The profiled cost of one layer at a specific training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerLoad {
+    /// The layer's id (index within the model).
+    pub layer_id: usize,
+    /// Forward-pass execution time for one micro-batch, in seconds.
+    pub fwd_time: f64,
+    /// Backward-pass execution time for one micro-batch, in seconds.
+    pub bwd_time: f64,
+    /// Parameters currently held by the layer (after pruning, this is the
+    /// retained count).
+    pub param_count: u64,
+    /// Static memory footprint in bytes (weights + gradients + optimizer
+    /// state, plus CSR index storage for pruned layers).
+    pub static_bytes: u64,
+    /// Activation memory per in-flight micro-batch, in bytes.
+    pub activation_bytes: u64,
+    /// Bytes that must be transferred to migrate this layer to another
+    /// worker (weights + optimizer state + sparse indices).
+    pub migration_bytes: u64,
+}
+
+impl LayerLoad {
+    /// Total compute time (forward + backward) for one micro-batch.
+    pub fn total_time(&self) -> f64 {
+        self.fwd_time + self.bwd_time
+    }
+
+    /// A zero-cost placeholder load for a layer (used for frozen layers and
+    /// in tests).
+    pub fn zero(layer_id: usize) -> Self {
+        LayerLoad {
+            layer_id,
+            fwd_time: 0.0,
+            bwd_time: 0.0,
+            param_count: 0,
+            static_bytes: 0,
+            activation_bytes: 0,
+            migration_bytes: 0,
+        }
+    }
+}
+
+/// Aggregate the loads of a set of layers (one pipeline stage's layers).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageLoad {
+    /// Sum of forward times of the stage's layers (seconds per micro-batch).
+    pub fwd_time: f64,
+    /// Sum of backward times of the stage's layers (seconds per micro-batch).
+    pub bwd_time: f64,
+    /// Sum of parameter counts.
+    pub param_count: u64,
+    /// Sum of static memory bytes.
+    pub static_bytes: u64,
+    /// Sum of activation bytes per in-flight micro-batch.
+    pub activation_bytes: u64,
+    /// Number of layers on the stage.
+    pub num_layers: usize,
+}
+
+impl StageLoad {
+    /// Accumulate one layer into the stage.
+    pub fn add_layer(&mut self, load: &LayerLoad) {
+        self.fwd_time += load.fwd_time;
+        self.bwd_time += load.bwd_time;
+        self.param_count += load.param_count;
+        self.static_bytes += load.static_bytes;
+        self.activation_bytes += load.activation_bytes;
+        self.num_layers += 1;
+    }
+
+    /// Total compute time (forward + backward) per micro-batch.
+    pub fn total_time(&self) -> f64 {
+        self.fwd_time + self.bwd_time
+    }
+}
+
+/// Aggregate per-layer loads into per-stage loads given a layer→stage map.
+pub fn aggregate_stage_loads(
+    loads: &[LayerLoad],
+    layer_to_stage: &[usize],
+    num_stages: usize,
+) -> Vec<StageLoad> {
+    assert_eq!(
+        loads.len(),
+        layer_to_stage.len(),
+        "one stage index per layer load"
+    );
+    let mut stages = vec![StageLoad::default(); num_stages];
+    for (load, &stage) in loads.iter().zip(layer_to_stage.iter()) {
+        assert!(stage < num_stages, "stage index {stage} out of range");
+        stages[stage].add_layer(load);
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(id: usize, fwd: f64, params: u64) -> LayerLoad {
+        LayerLoad {
+            layer_id: id,
+            fwd_time: fwd,
+            bwd_time: 2.0 * fwd,
+            param_count: params,
+            static_bytes: params * 16,
+            activation_bytes: 1000,
+            migration_bytes: params * 18,
+        }
+    }
+
+    #[test]
+    fn total_time_sums_fwd_and_bwd() {
+        let l = load(0, 0.5, 10);
+        assert_eq!(l.total_time(), 1.5);
+        assert_eq!(LayerLoad::zero(3).total_time(), 0.0);
+        assert_eq!(LayerLoad::zero(3).layer_id, 3);
+    }
+
+    #[test]
+    fn stage_load_accumulates_layers() {
+        let mut s = StageLoad::default();
+        s.add_layer(&load(0, 1.0, 100));
+        s.add_layer(&load(1, 2.0, 200));
+        assert_eq!(s.num_layers, 2);
+        assert_eq!(s.fwd_time, 3.0);
+        assert_eq!(s.bwd_time, 6.0);
+        assert_eq!(s.param_count, 300);
+        assert_eq!(s.static_bytes, 4800);
+        assert_eq!(s.activation_bytes, 2000);
+        assert_eq!(s.total_time(), 9.0);
+    }
+
+    #[test]
+    fn aggregation_groups_layers_by_stage() {
+        let loads = vec![load(0, 1.0, 10), load(1, 2.0, 20), load(2, 3.0, 30)];
+        let stages = aggregate_stage_loads(&loads, &[0, 0, 1], 2);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].num_layers, 2);
+        assert_eq!(stages[0].fwd_time, 3.0);
+        assert_eq!(stages[1].num_layers, 1);
+        assert_eq!(stages[1].param_count, 30);
+    }
+
+    #[test]
+    fn aggregation_allows_empty_stages() {
+        let loads = vec![load(0, 1.0, 10)];
+        let stages = aggregate_stage_loads(&loads, &[2], 4);
+        assert_eq!(stages[0].num_layers, 0);
+        assert_eq!(stages[2].num_layers, 1);
+        assert_eq!(stages[3].total_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stage index per layer load")]
+    fn aggregation_requires_matching_lengths() {
+        let loads = vec![load(0, 1.0, 10)];
+        let _ = aggregate_stage_loads(&loads, &[0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aggregation_rejects_out_of_range_stage() {
+        let loads = vec![load(0, 1.0, 10)];
+        let _ = aggregate_stage_loads(&loads, &[5], 2);
+    }
+}

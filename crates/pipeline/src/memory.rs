@@ -1,0 +1,174 @@
+//! Per-stage memory accounting and OOM detection.
+//!
+//! Re-packing (Algorithm 2) and the balancers both operate "subject to the
+//! constraints of memory capacity per worker" (§3.1).  This module converts
+//! a stage assignment plus per-layer loads into per-stage byte totals and
+//! flags stages that exceed the device capacity — the `OOM` entries shown in
+//! the paper's Figure 4 when a model no longer fits on 2 or 4 GPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::load::{aggregate_stage_loads, LayerLoad};
+use crate::schedule::ScheduleKind;
+use crate::stage::StageAssignment;
+
+/// Memory accounting for every stage of a pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMemoryReport {
+    /// Total bytes required on each stage.
+    pub per_stage_bytes: Vec<u64>,
+    /// The device capacity the stages were checked against.
+    pub capacity: u64,
+    /// Whether each stage fits within the capacity.
+    pub fits: Vec<bool>,
+}
+
+impl StageMemoryReport {
+    /// Whether every stage fits in memory.
+    pub fn all_fit(&self) -> bool {
+        self.fits.iter().all(|&f| f)
+    }
+
+    /// Indices of stages that exceed the capacity.
+    pub fn oom_stages(&self) -> Vec<usize> {
+        self.fits
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| !f)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Fraction of the capacity used by the most loaded stage.
+    pub fn peak_utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return f64::INFINITY;
+        }
+        let peak = self.per_stage_bytes.iter().copied().max().unwrap_or(0);
+        peak as f64 / self.capacity as f64
+    }
+}
+
+/// Number of micro-batches whose activations are simultaneously alive on
+/// `stage` under the given schedule (`p` stages, `m` micro-batches).
+/// For GPipe every forward activation is held until its backward; for 1F1B
+/// stage `s` holds at most `min(p − s, m)`.
+pub fn inflight_microbatches(
+    schedule: ScheduleKind,
+    stage: usize,
+    num_stages: usize,
+    num_microbatches: usize,
+) -> usize {
+    match schedule {
+        ScheduleKind::GPipe => num_microbatches,
+        ScheduleKind::OneFOneB => (num_stages - stage).min(num_microbatches),
+    }
+}
+
+/// Compute per-stage memory usage for `assignment` over `loads` and check it
+/// against `capacity`.
+pub fn check_stage_memory(
+    assignment: &StageAssignment,
+    loads: &[LayerLoad],
+    capacity: u64,
+    schedule: ScheduleKind,
+    num_microbatches: usize,
+) -> StageMemoryReport {
+    let stages = aggregate_stage_loads(loads, assignment.layer_to_stage(), assignment.num_stages());
+    let p = assignment.num_stages();
+    let per_stage_bytes: Vec<u64> = stages
+        .iter()
+        .enumerate()
+        .map(|(s, load)| {
+            let inflight = inflight_microbatches(schedule, s, p, num_microbatches) as u64;
+            load.static_bytes + load.activation_bytes * inflight
+        })
+        .collect();
+    let fits: Vec<bool> = per_stage_bytes.iter().map(|&b| b <= capacity).collect();
+    StageMemoryReport {
+        per_stage_bytes,
+        capacity,
+        fits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(id: usize, static_bytes: u64, act: u64) -> LayerLoad {
+        LayerLoad {
+            layer_id: id,
+            fwd_time: 1.0,
+            bwd_time: 2.0,
+            param_count: 10,
+            static_bytes,
+            activation_bytes: act,
+            migration_bytes: static_bytes,
+        }
+    }
+
+    #[test]
+    fn inflight_counts_follow_the_schedule() {
+        // 1F1B: the first stage holds the most in-flight activations.
+        assert_eq!(inflight_microbatches(ScheduleKind::OneFOneB, 0, 4, 32), 4);
+        assert_eq!(inflight_microbatches(ScheduleKind::OneFOneB, 3, 4, 32), 1);
+        // ...capped by the micro-batch count.
+        assert_eq!(inflight_microbatches(ScheduleKind::OneFOneB, 0, 8, 2), 2);
+        // GPipe holds everything.
+        assert_eq!(inflight_microbatches(ScheduleKind::GPipe, 2, 4, 32), 32);
+    }
+
+    #[test]
+    fn memory_report_flags_oom_stages() {
+        let loads = vec![
+            load(0, 600, 10),
+            load(1, 600, 10),
+            load(2, 100, 10),
+            load(3, 100, 10),
+        ];
+        // Stage 0 gets the two big layers → 1200 + activations; capacity 1000.
+        let assignment = StageAssignment::from_counts(&[2, 2]);
+        let report = check_stage_memory(&assignment, &loads, 1000, ScheduleKind::OneFOneB, 4);
+        assert!(!report.all_fit());
+        assert_eq!(report.oom_stages(), vec![0]);
+        assert!(report.fits[1]);
+        assert!(report.peak_utilization() > 1.0);
+    }
+
+    #[test]
+    fn activation_memory_depends_on_stage_depth_under_1f1b() {
+        let loads = vec![load(0, 0, 100), load(1, 0, 100)];
+        let assignment = StageAssignment::from_counts(&[1, 1]);
+        let report = check_stage_memory(&assignment, &loads, u64::MAX, ScheduleKind::OneFOneB, 8);
+        // Stage 0 holds 2 in-flight, stage 1 holds 1.
+        assert_eq!(report.per_stage_bytes, vec![200, 100]);
+    }
+
+    #[test]
+    fn gpipe_holds_all_microbatch_activations() {
+        let loads = vec![load(0, 0, 100)];
+        let assignment = StageAssignment::from_counts(&[1]);
+        let report = check_stage_memory(&assignment, &loads, u64::MAX, ScheduleKind::GPipe, 8);
+        assert_eq!(report.per_stage_bytes, vec![800]);
+    }
+
+    #[test]
+    fn all_fit_when_capacity_is_large() {
+        let loads = vec![load(0, 100, 10), load(1, 100, 10)];
+        let assignment = StageAssignment::from_counts(&[1, 1]);
+        let report = check_stage_memory(&assignment, &loads, 1 << 40, ScheduleKind::OneFOneB, 4);
+        assert!(report.all_fit());
+        assert!(report.oom_stages().is_empty());
+        assert!(report.peak_utilization() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_reports_infinite_utilization() {
+        let loads = vec![load(0, 100, 10)];
+        let assignment = StageAssignment::from_counts(&[1]);
+        let report = check_stage_memory(&assignment, &loads, 0, ScheduleKind::OneFOneB, 1);
+        assert!(report.peak_utilization().is_infinite());
+        assert!(!report.all_fit());
+    }
+}

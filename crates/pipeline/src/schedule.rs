@@ -1,0 +1,194 @@
+//! Micro-batch schedules for pipeline parallelism.
+//!
+//! The paper's experiments use Megatron-style pipeline schedules (its
+//! Figure 1 uses the "almost zero-bubble" scheme as the best-known
+//! baseline).  The two schedules implemented here bracket that space:
+//!
+//! * **GPipe** — all forwards, then all backwards; large inherent bubble.
+//! * **1F1B** (PipeDream-flush / Megatron default) — a warm-up of forwards
+//!   followed by alternating forward/backward; the inherent bubble is
+//!   `(p−1)/(m+p−1)` of the iteration, the same asymptotics as the
+//!   zero-bubble schemes once `m ≫ p`.
+//!
+//! What matters for DynMo is not the absolute bubble of the schedule but
+//! the *extra* bubble created when per-stage compute times diverge, which
+//! both schedules expose identically through the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline schedule to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// All forward micro-batches, then all backward micro-batches.
+    GPipe,
+    /// One-forward-one-backward (Megatron's default non-interleaved
+    /// schedule).
+    OneFOneB,
+}
+
+/// The kind of work item a worker executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass of one micro-batch through the worker's stage.
+    Forward,
+    /// Backward pass of one micro-batch through the worker's stage.
+    Backward,
+}
+
+/// One work item in a worker's local order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Forward or backward.
+    pub kind: OpKind,
+    /// Micro-batch index.
+    pub microbatch: usize,
+}
+
+/// The order in which the worker at `stage` (of `num_stages`) executes its
+/// forward and backward passes over `num_microbatches` micro-batches.
+pub fn worker_op_order(
+    kind: ScheduleKind,
+    stage: usize,
+    num_stages: usize,
+    num_microbatches: usize,
+) -> Vec<Op> {
+    assert!(stage < num_stages, "stage {stage} out of {num_stages}");
+    let m = num_microbatches;
+    let mut ops = Vec::with_capacity(2 * m);
+    match kind {
+        ScheduleKind::GPipe => {
+            for mb in 0..m {
+                ops.push(Op {
+                    kind: OpKind::Forward,
+                    microbatch: mb,
+                });
+            }
+            // Backwards in reverse order (LIFO, freeing the most recent
+            // activations first, as GPipe does).
+            for mb in (0..m).rev() {
+                ops.push(Op {
+                    kind: OpKind::Backward,
+                    microbatch: mb,
+                });
+            }
+        }
+        ScheduleKind::OneFOneB => {
+            let warmup = (num_stages - stage - 1).min(m);
+            for mb in 0..warmup {
+                ops.push(Op {
+                    kind: OpKind::Forward,
+                    microbatch: mb,
+                });
+            }
+            // Steady state: 1F1B pairs.
+            for i in 0..(m - warmup) {
+                ops.push(Op {
+                    kind: OpKind::Forward,
+                    microbatch: warmup + i,
+                });
+                ops.push(Op {
+                    kind: OpKind::Backward,
+                    microbatch: i,
+                });
+            }
+            // Cool-down: remaining backwards.
+            for mb in (m - warmup)..m {
+                ops.push(Op {
+                    kind: OpKind::Backward,
+                    microbatch: mb,
+                });
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_kinds(ops: &[Op]) -> (usize, usize) {
+        let fwd = ops.iter().filter(|o| o.kind == OpKind::Forward).count();
+        let bwd = ops.iter().filter(|o| o.kind == OpKind::Backward).count();
+        (fwd, bwd)
+    }
+
+    #[test]
+    fn every_schedule_runs_each_microbatch_once_forward_and_once_backward() {
+        for kind in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            for num_stages in [1, 2, 4, 8] {
+                for m in [1, 2, 4, 8, 32] {
+                    for stage in 0..num_stages {
+                        let ops = worker_op_order(kind, stage, num_stages, m);
+                        let (fwd, bwd) = count_kinds(&ops);
+                        assert_eq!(fwd, m, "{kind:?} stage {stage}/{num_stages} m={m}");
+                        assert_eq!(bwd, m);
+                        // Each microbatch appears exactly once per direction.
+                        let mut seen_f = vec![false; m];
+                        let mut seen_b = vec![false; m];
+                        for op in &ops {
+                            let seen = match op.kind {
+                                OpKind::Forward => &mut seen_f,
+                                OpKind::Backward => &mut seen_b,
+                            };
+                            assert!(!seen[op.microbatch]);
+                            seen[op.microbatch] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpipe_runs_all_forwards_before_any_backward() {
+        let ops = worker_op_order(ScheduleKind::GPipe, 1, 4, 6);
+        let first_bwd = ops.iter().position(|o| o.kind == OpKind::Backward).unwrap();
+        assert!(ops[..first_bwd]
+            .iter()
+            .all(|o| o.kind == OpKind::Forward));
+        assert_eq!(first_bwd, 6);
+    }
+
+    #[test]
+    fn one_f_one_b_warmup_depends_on_stage_depth() {
+        let p = 4;
+        let m = 8;
+        // First stage has the longest warm-up (p-1 forwards).
+        let ops0 = worker_op_order(ScheduleKind::OneFOneB, 0, p, m);
+        let first_bwd0 = ops0.iter().position(|o| o.kind == OpKind::Backward).unwrap();
+        assert_eq!(first_bwd0, p - 1 + 1); // warmup forwards + 1 steady forward
+        // Last stage alternates immediately.
+        let ops3 = worker_op_order(ScheduleKind::OneFOneB, p - 1, p, m);
+        assert_eq!(ops3[0].kind, OpKind::Forward);
+        assert_eq!(ops3[1].kind, OpKind::Backward);
+        assert_eq!(ops3[0].microbatch, 0);
+        assert_eq!(ops3[1].microbatch, 0);
+    }
+
+    #[test]
+    fn one_f_one_b_backwards_are_in_microbatch_order() {
+        let ops = worker_op_order(ScheduleKind::OneFOneB, 1, 4, 8);
+        let bwd_order: Vec<usize> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Backward)
+            .map(|o| o.microbatch)
+            .collect();
+        assert_eq!(bwd_order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn warmup_is_capped_by_microbatch_count() {
+        // 8 stages but only 2 microbatches: warm-up cannot exceed 2.
+        let ops = worker_op_order(ScheduleKind::OneFOneB, 0, 8, 2);
+        let (fwd, bwd) = count_kinds(&ops);
+        assert_eq!(fwd, 2);
+        assert_eq!(bwd, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn stage_out_of_range_panics() {
+        let _ = worker_op_order(ScheduleKind::GPipe, 4, 4, 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Discrete-event simulation of one pipeline-parallel training iteration.
+//!
+//! Given per-stage compute times (from the profiler / cost model), the
+//! simulator replays the chosen micro-batch schedule while honoring:
+//!
+//! * in-order execution within each worker (the schedule's op order),
+//! * activation dependencies between adjacent stages (forward), and
+//!   gradient dependencies in the reverse direction (backward), each paying
+//!   the α–β transfer cost of the link between the two stages.
+//!
+//! The output is the iteration makespan plus per-worker busy/idle time — the
+//! quantities behind the paper's Figure 1 (idleness), Figure 3 (throughput)
+//! and the bubble-ratio claims in §5.1.
+
+use dynmo_model::ModelConfig;
+
+use crate::comm::CommCostModel;
+use crate::load::StageLoad;
+use crate::metrics::{IterationReport, OpSpan, WorkerTimeline};
+use crate::schedule::{worker_op_order, Op, OpKind, ScheduleKind};
+
+/// Simulator for a single pipeline (one data-parallel replica).
+#[derive(Debug, Clone)]
+pub struct PipelineSimulator {
+    comm: CommCostModel,
+    schedule: ScheduleKind,
+}
+
+impl PipelineSimulator {
+    /// Create a simulator with the given communication model and schedule.
+    pub fn new(comm: CommCostModel, schedule: ScheduleKind) -> Self {
+        PipelineSimulator { comm, schedule }
+    }
+
+    /// The schedule being simulated.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.schedule
+    }
+
+    /// The communication model in use.
+    pub fn comm(&self) -> &CommCostModel {
+        &self.comm
+    }
+
+    /// Simulate one iteration of `num_microbatches` micro-batches over the
+    /// given per-stage loads and return the timing report.
+    pub fn simulate(
+        &self,
+        model: &ModelConfig,
+        stage_loads: &[StageLoad],
+        num_microbatches: usize,
+    ) -> IterationReport {
+        let p = stage_loads.len();
+        assert!(p > 0, "at least one pipeline stage is required");
+        assert!(num_microbatches > 0, "at least one micro-batch is required");
+        let m = num_microbatches;
+
+        let orders: Vec<Vec<Op>> = (0..p)
+            .map(|s| worker_op_order(self.schedule, s, p, m))
+            .collect();
+
+        let mut fwd_finish = vec![vec![f64::NAN; m]; p];
+        let mut bwd_finish = vec![vec![f64::NAN; m]; p];
+        let mut worker_time = vec![0.0f64; p];
+        let mut next_idx = vec![0usize; p];
+        let mut timelines: Vec<WorkerTimeline> = vec![WorkerTimeline::default(); p];
+        let total_ops = 2 * m * p;
+        let mut scheduled = 0usize;
+
+        while scheduled < total_ops {
+            let mut progressed = false;
+            for s in 0..p {
+                while next_idx[s] < orders[s].len() {
+                    let op = orders[s][next_idx[s]];
+                    let ready = match op.kind {
+                        OpKind::Forward => {
+                            if s == 0 {
+                                Some(0.0)
+                            } else {
+                                let dep = fwd_finish[s - 1][op.microbatch];
+                                if dep.is_nan() {
+                                    None
+                                } else {
+                                    Some(dep + self.comm.activation_transfer_time(model, s - 1, s))
+                                }
+                            }
+                        }
+                        OpKind::Backward => {
+                            let own_fwd = fwd_finish[s][op.microbatch];
+                            if own_fwd.is_nan() {
+                                None
+                            } else if s == p - 1 {
+                                Some(own_fwd)
+                            } else {
+                                let dep = bwd_finish[s + 1][op.microbatch];
+                                if dep.is_nan() {
+                                    None
+                                } else {
+                                    Some(dep.max(own_fwd)
+                                        + self.comm.activation_transfer_time(model, s + 1, s))
+                                }
+                            }
+                        }
+                    };
+                    let Some(ready) = ready else { break };
+                    let duration = match op.kind {
+                        OpKind::Forward => stage_loads[s].fwd_time,
+                        OpKind::Backward => stage_loads[s].bwd_time,
+                    };
+                    let start = worker_time[s].max(ready);
+                    let end = start + duration;
+                    match op.kind {
+                        OpKind::Forward => fwd_finish[s][op.microbatch] = end,
+                        OpKind::Backward => bwd_finish[s][op.microbatch] = end,
+                    }
+                    timelines[s].spans.push(OpSpan { op, start, end });
+                    worker_time[s] = end;
+                    next_idx[s] += 1;
+                    scheduled += 1;
+                    progressed = true;
+                }
+            }
+            assert!(
+                progressed,
+                "pipeline schedule deadlocked ({} of {} ops scheduled)",
+                scheduled, total_ops
+            );
+        }
+
+        let makespan = worker_time.iter().copied().fold(0.0, f64::max);
+        let per_worker_busy: Vec<f64> = timelines.iter().map(|t| t.busy_time()).collect();
+        let per_worker_idle: Vec<f64> = per_worker_busy.iter().map(|b| makespan - b).collect();
+        let stage_compute_times: Vec<f64> = stage_loads.iter().map(|l| l.total_time()).collect();
+
+        IterationReport {
+            makespan,
+            per_worker_busy,
+            per_worker_idle,
+            timelines,
+            stage_compute_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmo_model::{ClusterConfig, DeviceSpec};
+
+    fn zero_comm_cluster(stages: usize) -> ClusterConfig {
+        // A device with effectively infinite bandwidth and zero latency so
+        // analytic pipeline formulas hold exactly in tests.
+        ClusterConfig {
+            gpus_per_node: stages.max(1),
+            pipeline_stages: stages,
+            data_parallel: 1,
+            device: DeviceSpec {
+                sustained_flops: 1.0,
+                memory_capacity: u64::MAX,
+                intra_node_bandwidth: f64::INFINITY,
+                inter_node_bandwidth: f64::INFINITY,
+                link_latency: 0.0,
+                kernel_launch_overhead: 0.0,
+            },
+        }
+    }
+
+    fn stage(fwd: f64) -> StageLoad {
+        StageLoad {
+            fwd_time: fwd,
+            bwd_time: 2.0 * fwd,
+            param_count: 0,
+            static_bytes: 0,
+            activation_bytes: 0,
+            num_layers: 1,
+        }
+    }
+
+    fn simulate(
+        schedule: ScheduleKind,
+        fwd_times: &[f64],
+        microbatches: usize,
+    ) -> IterationReport {
+        let loads: Vec<StageLoad> = fwd_times.iter().map(|&f| stage(f)).collect();
+        let comm = CommCostModel::new(zero_comm_cluster(loads.len()));
+        let sim = PipelineSimulator::new(comm, schedule);
+        sim.simulate(&ModelConfig::gpt(24), &loads, microbatches)
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let r = simulate(schedule, &[1.0], 4);
+            // 4 microbatches × (1 + 2) seconds.
+            assert!((r.makespan - 12.0).abs() < 1e-9);
+            assert!(r.average_idleness() < 1e-9);
+            assert!(r.bubble_ratio() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn balanced_gpipe_matches_analytic_makespan() {
+        // p balanced stages, m microbatches, zero comm: GPipe makespan is
+        // (m + p − 1) · (f + b) with f=1, b=2.
+        let p = 4;
+        let m = 8;
+        let r = simulate(ScheduleKind::GPipe, &vec![1.0; p], m);
+        let expected = (m as f64 + p as f64 - 1.0) * 3.0;
+        assert!(
+            (r.makespan - expected).abs() < 1e-9,
+            "makespan {} vs expected {expected}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn balanced_1f1b_matches_analytic_makespan() {
+        // Balanced 1F1B with zero comm: makespan = (p−1)·(f+b) + m·(f+b)
+        // = (m + p − 1)(f+b) — same steady-state as GPipe for equal f+b
+        // per stage, which is the standard result for non-interleaved 1F1B.
+        let p = 4;
+        let m = 8;
+        let r = simulate(ScheduleKind::OneFOneB, &vec![1.0; p], m);
+        let expected = (m as f64 + p as f64 - 1.0) * 3.0;
+        assert!(
+            (r.makespan - expected).abs() < 1e-9,
+            "makespan {} vs expected {expected}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn inherent_bubble_shrinks_with_more_microbatches() {
+        let p = 4;
+        let small = simulate(ScheduleKind::OneFOneB, &vec![1.0; p], 4);
+        let large = simulate(ScheduleKind::OneFOneB, &vec![1.0; p], 32);
+        assert!(large.average_idleness() < small.average_idleness());
+        // With m ≫ p the bubble approaches (p−1)/(m+p−1).
+        let expected = (p as f64 - 1.0) / (32.0 + p as f64 - 1.0);
+        assert!((large.average_idleness() - expected).abs() < 0.02);
+    }
+
+    #[test]
+    fn imbalanced_stage_creates_extra_idleness() {
+        let balanced = simulate(ScheduleKind::OneFOneB, &[1.0, 1.0, 1.0, 1.0], 16);
+        let imbalanced = simulate(ScheduleKind::OneFOneB, &[1.0, 1.0, 1.0, 3.0], 16);
+        assert!(imbalanced.average_idleness() > balanced.average_idleness() + 0.2);
+        // The slow stage itself is (nearly) never idle.
+        let slow_idle = imbalanced.per_worker_idle[3];
+        assert!(slow_idle / imbalanced.makespan < 0.2);
+        // Makespan is dominated by the slow stage: ≥ m × its per-mb time.
+        assert!(imbalanced.makespan >= 16.0 * 9.0);
+        // Imbalance metric reflects the 3× stage (Eq. 2).
+        assert!(imbalanced.load_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn throughput_drops_when_one_stage_slows_down() {
+        let tokens = 16 * 2 * 2048;
+        let balanced = simulate(ScheduleKind::OneFOneB, &[1.0; 4], 16);
+        let imbalanced = simulate(ScheduleKind::OneFOneB, &[1.0, 1.0, 1.0, 2.0], 16);
+        assert!(
+            balanced.tokens_per_second(tokens) > 1.5 * imbalanced.tokens_per_second(tokens)
+        );
+    }
+
+    #[test]
+    fn empty_stages_pass_work_through_without_compute() {
+        // Two real stages with an empty stage between them (a released GPU
+        // kept in the pipeline layout for comparison purposes).
+        let r = simulate(ScheduleKind::OneFOneB, &[1.0, 0.0, 1.0], 8);
+        assert!(r.per_worker_busy[1] < 1e-9);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn communication_latency_increases_makespan() {
+        let loads = vec![stage(1.0); 4];
+        let model = ModelConfig::gpt(24);
+        let fast = PipelineSimulator::new(
+            CommCostModel::new(zero_comm_cluster(4)),
+            ScheduleKind::OneFOneB,
+        )
+        .simulate(&model, &loads, 8);
+        let slow_cluster = ClusterConfig {
+            gpus_per_node: 1, // every hop crosses a (slow) node boundary
+            pipeline_stages: 4,
+            data_parallel: 1,
+            device: DeviceSpec {
+                sustained_flops: 1.0,
+                memory_capacity: u64::MAX,
+                intra_node_bandwidth: 1.0e9,
+                inter_node_bandwidth: 1.0e8,
+                link_latency: 0.05,
+                kernel_launch_overhead: 0.0,
+            },
+        };
+        let slow = PipelineSimulator::new(CommCostModel::new(slow_cluster), ScheduleKind::OneFOneB)
+            .simulate(&model, &loads, 8);
+        assert!(slow.makespan > fast.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pipeline stage")]
+    fn zero_stages_is_rejected() {
+        let comm = CommCostModel::new(zero_comm_cluster(1));
+        let sim = PipelineSimulator::new(comm, ScheduleKind::GPipe);
+        let _ = sim.simulate(&ModelConfig::gpt(24), &[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one micro-batch")]
+    fn zero_microbatches_is_rejected() {
+        let comm = CommCostModel::new(zero_comm_cluster(1));
+        let sim = PipelineSimulator::new(comm, ScheduleKind::GPipe);
+        let _ = sim.simulate(&ModelConfig::gpt(24), &[stage(1.0)], 0);
+    }
+
+    #[test]
+    fn timelines_are_consistent_with_busy_times() {
+        let r = simulate(ScheduleKind::OneFOneB, &[1.0, 2.0, 1.0], 6);
+        for (busy, timeline) in r.per_worker_busy.iter().zip(r.timelines.iter()) {
+            assert!((busy - timeline.busy_time()).abs() < 1e-9);
+            // Spans never overlap and are ordered.
+            for w in timeline.spans.windows(2) {
+                assert!(w[1].start >= w[0].end - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the simulated runtime.
+
+use std::fmt;
+
+/// Convenience result alias used across the runtime.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors surfaced by the simulated communication fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A destination rank does not exist in the fabric.
+    UnknownRank(usize),
+    /// A rank referenced a communicator it is not a member of.
+    NotAMember {
+        /// The global rank that attempted the operation.
+        rank: usize,
+        /// The communicator id involved.
+        comm: u64,
+    },
+    /// The peer's endpoint has been torn down (its thread exited).
+    Disconnected {
+        /// The global rank whose channel was closed.
+        rank: usize,
+    },
+    /// A receive operation timed out.
+    Timeout {
+        /// The rank that was waiting.
+        rank: usize,
+        /// The peer the rank was waiting on, if known.
+        src: Option<usize>,
+        /// The tag that was being matched.
+        tag: u32,
+    },
+    /// A payload had a different type or length than the operation expected.
+    PayloadMismatch(String),
+    /// Collective operation called with invalid arguments (e.g. scatter
+    /// counts not matching the communicator size).
+    InvalidArgument(String),
+    /// A worker thread panicked during `launch`.
+    WorkerPanicked {
+        /// The global rank of the panicked worker.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownRank(r) => write!(f, "unknown rank {r}"),
+            RuntimeError::NotAMember { rank, comm } => {
+                write!(f, "rank {rank} is not a member of communicator {comm}")
+            }
+            RuntimeError::Disconnected { rank } => {
+                write!(f, "rank {rank} endpoint is disconnected")
+            }
+            RuntimeError::Timeout { rank, src, tag } => match src {
+                Some(s) => write!(f, "rank {rank} timed out waiting for src {s} tag {tag}"),
+                None => write!(f, "rank {rank} timed out waiting for tag {tag}"),
+            },
+            RuntimeError::PayloadMismatch(msg) => write!(f, "payload mismatch: {msg}"),
+            RuntimeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RuntimeError::WorkerPanicked { rank } => write!(f, "worker rank {rank} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(RuntimeError, &str)> = vec![
+            (RuntimeError::UnknownRank(3), "unknown rank 3"),
+            (
+                RuntimeError::NotAMember { rank: 1, comm: 7 },
+                "rank 1 is not a member of communicator 7",
+            ),
+            (
+                RuntimeError::Disconnected { rank: 2 },
+                "rank 2 endpoint is disconnected",
+            ),
+            (
+                RuntimeError::PayloadMismatch("want f32".into()),
+                "payload mismatch: want f32",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn timeout_display_with_and_without_src() {
+        let with = RuntimeError::Timeout {
+            rank: 0,
+            src: Some(5),
+            tag: 9,
+        };
+        assert!(with.to_string().contains("src 5"));
+        let without = RuntimeError::Timeout {
+            rank: 0,
+            src: None,
+            tag: 9,
+        };
+        assert!(!without.to_string().contains("src"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&RuntimeError::UnknownRank(0));
+    }
+}

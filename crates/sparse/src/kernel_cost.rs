@@ -1,0 +1,209 @@
+//! Calibrated GPU kernel cost models for dense and sparse matrix multiply.
+//!
+//! The paper (§4.2.2) evaluated GPU SpMM implementations and reports two
+//! facts this module reproduces as a cost model:
+//!
+//! 1. "Sputnik's SpMM consistently outperformed cuSPARSE across all tested
+//!    sparsity levels" — because cuSPARSE targets HPC matrices with extreme
+//!    (>99%) sparsity, whereas Sputnik's kernels are tailored to the
+//!    moderate sparsity of pruned deep-learning weights.
+//! 2. "Notably, Sputnik begins to outperform cuBLAS around 75% sparsity."
+//!
+//! The models below are simple effective-throughput curves chosen so these
+//! two crossovers hold; the spmm benchmark (`ABL-SPMM` in DESIGN.md) prints
+//! the sweep that verifies them.
+
+use serde::{Deserialize, Serialize};
+
+/// The SpMM/GEMM backend being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpmmBackend {
+    /// Dense GEMM via cuBLAS (the baseline that ignores sparsity).
+    CublasDense,
+    /// cuSPARSE CSR SpMM (efficient only at extreme sparsity).
+    Cusparse,
+    /// Sputnik SpMM (tailored to deep-learning sparsity levels).
+    Sputnik,
+}
+
+/// Cost model producing kernel execution times in seconds for an
+/// `m × k · k × n` multiplication at a given weight sparsity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCostModel {
+    /// Dense matrix-engine throughput in FLOP/s (cuBLAS).
+    pub dense_flops: f64,
+    /// Peak effective throughput of Sputnik's SpMM on the same device, as a
+    /// fraction of the dense throughput (sparse kernels cannot use tensor
+    /// cores as effectively).
+    pub sputnik_efficiency: f64,
+    /// Peak effective throughput of cuSPARSE relative to dense throughput.
+    pub cusparse_efficiency: f64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+impl Default for KernelCostModel {
+    fn default() -> Self {
+        Self::h100()
+    }
+}
+
+impl KernelCostModel {
+    /// An H100-like calibration.  With `sputnik_efficiency = 0.25`, Sputnik's
+    /// time `2mnk(1-s)/(0.25·F)` drops below the dense time `2mnk/F` exactly
+    /// when `1 - s < 0.25`, i.e. at 75% sparsity — the paper's observation.
+    pub fn h100() -> Self {
+        KernelCostModel {
+            dense_flops: 6.0e14,
+            sputnik_efficiency: 0.25,
+            cusparse_efficiency: 0.06,
+            launch_overhead: 6.0e-6,
+        }
+    }
+
+    /// Dense GEMM time (independent of sparsity).
+    pub fn cublas_time(&self, m: usize, n: usize, k: usize) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        self.launch_overhead + flops / self.dense_flops
+    }
+
+    /// Sputnik SpMM time at the given weight sparsity in `[0, 1]`.
+    pub fn sputnik_time(&self, m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+        let density = (1.0 - sparsity.clamp(0.0, 1.0)).max(0.0);
+        let flops = 2.0 * m as f64 * n as f64 * k as f64 * density;
+        // Row-pointer traversal gives Sputnik a small density-independent
+        // component proportional to the output size.
+        let index_overhead = (m * n) as f64 / self.dense_flops * 4.0;
+        self.launch_overhead + index_overhead + flops / (self.dense_flops * self.sputnik_efficiency)
+    }
+
+    /// cuSPARSE SpMM time at the given weight sparsity in `[0, 1]`.
+    pub fn cusparse_time(&self, m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+        let density = (1.0 - sparsity.clamp(0.0, 1.0)).max(0.0);
+        let flops = 2.0 * m as f64 * n as f64 * k as f64 * density;
+        // cuSPARSE pays a much larger irregular-access penalty at DL
+        // sparsity levels; it only becomes competitive when almost nothing
+        // is left to multiply.
+        let index_overhead = (m * n) as f64 / self.dense_flops * 24.0;
+        self.launch_overhead
+            + index_overhead
+            + flops / (self.dense_flops * self.cusparse_efficiency)
+    }
+
+    /// Time for the given backend.
+    pub fn time(&self, backend: SpmmBackend, m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+        match backend {
+            SpmmBackend::CublasDense => self.cublas_time(m, n, k),
+            SpmmBackend::Cusparse => self.cusparse_time(m, n, k, sparsity),
+            SpmmBackend::Sputnik => self.sputnik_time(m, n, k, sparsity),
+        }
+    }
+
+    /// The fastest backend for a layer at the given sparsity — this is the
+    /// choice DynMo's pruning integration makes when deciding whether a
+    /// pruned layer should switch from dense to sparse kernels.
+    pub fn best_backend(&self, m: usize, n: usize, k: usize, sparsity: f64) -> SpmmBackend {
+        let candidates = [
+            SpmmBackend::CublasDense,
+            SpmmBackend::Cusparse,
+            SpmmBackend::Sputnik,
+        ];
+        *candidates
+            .iter()
+            .min_by(|a, b| {
+                self.time(**a, m, n, k, sparsity)
+                    .partial_cmp(&self.time(**b, m, n, k, sparsity))
+                    .expect("times are finite")
+            })
+            .expect("non-empty candidate list")
+    }
+
+    /// The sparsity at which Sputnik first beats dense cuBLAS for the given
+    /// shape, found by scanning in 1% steps (used by the ABL-SPMM bench).
+    pub fn sputnik_crossover_sparsity(&self, m: usize, n: usize, k: usize) -> f64 {
+        for pct in 0..=100 {
+            let s = pct as f64 / 100.0;
+            if self.sputnik_time(m, n, k, s) < self.cublas_time(m, n, k) {
+                return s;
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: (usize, usize, usize) = (4096, 4096, 1024);
+
+    #[test]
+    fn sputnik_beats_cublas_only_beyond_75_percent_sparsity() {
+        let model = KernelCostModel::h100();
+        let (m, n, k) = SHAPE;
+        assert!(model.sputnik_time(m, n, k, 0.5) > model.cublas_time(m, n, k));
+        assert!(model.sputnik_time(m, n, k, 0.7) > model.cublas_time(m, n, k));
+        assert!(model.sputnik_time(m, n, k, 0.8) < model.cublas_time(m, n, k));
+        assert!(model.sputnik_time(m, n, k, 0.9) < model.cublas_time(m, n, k));
+        let crossover = model.sputnik_crossover_sparsity(m, n, k);
+        assert!(
+            (0.70..=0.80).contains(&crossover),
+            "crossover at {crossover}"
+        );
+    }
+
+    #[test]
+    fn sputnik_beats_cusparse_at_deep_learning_sparsities() {
+        let model = KernelCostModel::h100();
+        let (m, n, k) = SHAPE;
+        for pct in [30, 50, 70, 90, 95, 99] {
+            let s = pct as f64 / 100.0;
+            assert!(
+                model.sputnik_time(m, n, k, s) < model.cusparse_time(m, n, k, s),
+                "sputnik should beat cusparse at {pct}% sparsity"
+            );
+        }
+    }
+
+    #[test]
+    fn best_backend_switches_from_dense_to_sputnik() {
+        let model = KernelCostModel::h100();
+        let (m, n, k) = SHAPE;
+        assert_eq!(model.best_backend(m, n, k, 0.3), SpmmBackend::CublasDense);
+        assert_eq!(model.best_backend(m, n, k, 0.9), SpmmBackend::Sputnik);
+    }
+
+    #[test]
+    fn times_decrease_with_sparsity_for_sparse_backends() {
+        let model = KernelCostModel::h100();
+        let (m, n, k) = SHAPE;
+        let t50 = model.sputnik_time(m, n, k, 0.5);
+        let t90 = model.sputnik_time(m, n, k, 0.9);
+        let t99 = model.sputnik_time(m, n, k, 0.99);
+        assert!(t50 > t90 && t90 > t99);
+        // Dense time is flat in sparsity.
+        assert_eq!(
+            model.time(SpmmBackend::CublasDense, m, n, k, 0.1),
+            model.time(SpmmBackend::CublasDense, m, n, k, 0.9)
+        );
+    }
+
+    #[test]
+    fn sparsity_is_clamped() {
+        let model = KernelCostModel::h100();
+        let (m, n, k) = SHAPE;
+        assert_eq!(
+            model.sputnik_time(m, n, k, -1.0),
+            model.sputnik_time(m, n, k, 0.0)
+        );
+        assert_eq!(
+            model.sputnik_time(m, n, k, 2.0),
+            model.sputnik_time(m, n, k, 1.0)
+        );
+    }
+
+    #[test]
+    fn default_is_the_h100_calibration() {
+        assert_eq!(KernelCostModel::default(), KernelCostModel::h100());
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) for DynMo's core invariants:
+//! the partition and diffusion balancers, the re-packing pass, and the
+//! sparse-tensor primitives used by global pruning.
+
+use dynmo::core::balancer::{
+    stage_weights, BalanceObjective, BalanceRequest, DiffusionBalancer, LoadBalancer,
+    PartitionBalancer,
+};
+use dynmo::core::load_imbalance;
+use dynmo::core::repack::{plan_repack, RepackConfig};
+use dynmo::pipeline::{LayerLoad, StageAssignment};
+use dynmo::sparse::{prune_to_sparsity, spmm, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn loads_from_times(times: &[f64]) -> Vec<LayerLoad> {
+    times
+        .iter()
+        .enumerate()
+        .map(|(id, &t)| LayerLoad {
+            layer_id: id,
+            fwd_time: t / 3.0,
+            bwd_time: 2.0 * t / 3.0,
+            param_count: (t * 1.0e6) as u64 + 1,
+            static_bytes: ((t * 1.0e6) as u64 + 1) * 16,
+            activation_bytes: 1_000,
+            migration_bytes: ((t * 1.0e6) as u64 + 1) * 16,
+        })
+        .collect()
+}
+
+fn arbitrary_times() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..5.0, 4..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partition balancer covers every layer exactly once, keeps the
+    /// assignment contiguous, and never does worse than the uniform split.
+    #[test]
+    fn partition_balancer_invariants(times in arbitrary_times(), stages in 2usize..12) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime);
+        let outcome = PartitionBalancer::new().rebalance(&request);
+
+        prop_assert_eq!(outcome.assignment.num_layers(), loads.len());
+        prop_assert!(outcome.assignment.is_contiguous());
+        prop_assert_eq!(outcome.assignment.num_stages(), stages);
+        // Every layer appears exactly once (counts sum to the layer count).
+        prop_assert_eq!(outcome.assignment.counts().iter().sum::<usize>(), loads.len());
+
+        // Bottleneck is never worse than the uniform split's bottleneck.
+        let uniform = StageAssignment::uniform(loads.len(), stages);
+        let uniform_bottleneck = stage_weights(&uniform, &loads, BalanceObjective::ByTime)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        prop_assert!(outcome.bottleneck <= uniform_bottleneck + 1e-9);
+
+        // Bottleneck can never go below the theoretical lower bound
+        // max(total/stages, heaviest layer).
+        let total: f64 = times.iter().sum();
+        let heaviest = times.iter().copied().fold(0.0f64, f64::max);
+        let lower = (total / stages as f64).max(heaviest);
+        prop_assert!(outcome.bottleneck >= lower - 1e-9);
+    }
+
+    /// The diffusion balancer improves (or preserves) the imbalance of its
+    /// starting assignment, preserves every layer, stays contiguous, and
+    /// finishes within the Lemma 2 round bound.
+    #[test]
+    fn diffusion_balancer_invariants(times in arbitrary_times(), stages in 2usize..10) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let current = StageAssignment::uniform(loads.len(), stages);
+        let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current);
+        let balancer = DiffusionBalancer::new();
+        let outcome = balancer.rebalance(&request);
+
+        prop_assert_eq!(outcome.assignment.num_layers(), loads.len());
+        prop_assert!(outcome.assignment.is_contiguous());
+        prop_assert_eq!(outcome.assignment.counts().iter().sum::<usize>(), loads.len());
+
+        let before = load_imbalance(&stage_weights(&current, &loads, BalanceObjective::ByTime));
+        let after = load_imbalance(&stage_weights(
+            &outcome.assignment,
+            &loads,
+            BalanceObjective::ByTime,
+        ));
+        prop_assert!(after <= before + 1e-9, "imbalance got worse: {} -> {}", before, after);
+
+        let total: f64 = times.iter().sum();
+        let bound = balancer.lemma2_round_bound(stages, total);
+        prop_assert!((outcome.rounds as f64) <= bound);
+    }
+
+    /// Re-packing never loses a layer, never violates the memory budget on
+    /// the destination workers, and never increases the active worker count.
+    #[test]
+    fn repack_invariants(
+        times in arbitrary_times(),
+        stages in 2usize..10,
+        budget_scale in 1.0f64..6.0,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let assignment = StageAssignment::uniform(loads.len(), stages);
+        let inflight = vec![2usize; stages];
+        // Budget between one stage's worth and several stages' worth.
+        let per_stage: u64 = loads.iter().map(|l| l.static_bytes + 2 * l.activation_bytes).sum::<u64>()
+            / stages as u64;
+        let config = RepackConfig {
+            max_memory: ((per_stage as f64) * budget_scale) as u64 + 1,
+            target_num_workers: 1,
+            utilization_cap: 1.0,
+        };
+        let plan = plan_repack(&assignment, &loads, &inflight, &config);
+
+        // No layer lost or duplicated.
+        prop_assert_eq!(plan.new_assignment.num_layers(), loads.len());
+        let mut seen = vec![false; loads.len()];
+        for layer in 0..loads.len() {
+            let stage = plan.new_assignment.stage_of(layer);
+            prop_assert!(stage < stages);
+            seen[layer] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+
+        // Re-packing never pushes a worker over the budget *by merging*: a
+        // worker may only exceed the budget if its original (pre-repack)
+        // load already did, since Algorithm 2 never splits a worker's load.
+        let memory_before: Vec<u64> = (0..stages)
+            .map(|s| {
+                assignment
+                    .layers_of(s)
+                    .iter()
+                    .map(|&l| loads[l].static_bytes + loads[l].activation_bytes * 2)
+                    .sum()
+            })
+            .collect();
+        for (stage, &bytes) in plan.memory_after.iter().enumerate() {
+            prop_assert!(
+                bytes <= config.max_memory.max(memory_before[stage]),
+                "stage {} holds {} bytes over budget {} (was {} before)",
+                stage, bytes, config.max_memory, memory_before[stage]
+            );
+        }
+
+        // Active workers never increase, and released + active partitions
+        // the original actives.
+        prop_assert!(plan.active_workers.len() <= stages);
+        for worker in &plan.released_workers {
+            prop_assert!(!plan.active_workers.contains(worker));
+        }
+    }
+
+    /// CSR round-trips and SpMM agrees with the dense reference.
+    #[test]
+    fn csr_spmm_matches_dense(
+        rows in 1usize..12,
+        inner in 1usize..12,
+        cols in 1usize..8,
+        values in prop::collection::vec(-2.0f32..2.0, 1..144),
+        mask in prop::collection::vec(0u8..4, 1..144),
+    ) {
+        let a_data: Vec<f32> = (0..rows * inner)
+            .map(|i| {
+                let v = values[i % values.len()];
+                if mask[i % mask.len()] == 0 { 0.0 } else { v }
+            })
+            .collect();
+        let b_data: Vec<f32> = (0..inner * cols)
+            .map(|i| values[(i * 7 + 3) % values.len()])
+            .collect();
+        let a = DenseMatrix::from_vec(rows, inner, a_data);
+        let b = DenseMatrix::from_vec(inner, cols, b_data);
+        let csr = CsrMatrix::from_dense(&a);
+        // Round trip.
+        prop_assert_eq!(csr.to_dense(), a.clone());
+        // SpMM vs dense GEMM.
+        let sparse_result = spmm(&csr, &b);
+        let dense_result = a.matmul(&b);
+        prop_assert!(sparse_result.max_abs_diff(&dense_result) < 1e-3);
+    }
+
+    /// Global magnitude pruning hits its sparsity target (within rounding)
+    /// and only ever zeroes the smallest-magnitude entries.
+    #[test]
+    fn pruning_hits_target_and_keeps_largest(
+        values in prop::collection::vec(-5.0f32..5.0, 8..256),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let mut pruned = values.clone();
+        let achieved = prune_to_sparsity(&mut pruned, sparsity);
+        let expected_zeros = (sparsity * values.len() as f64).round() as usize;
+        let zeros = pruned.iter().filter(|v| **v == 0.0).count();
+        let original_zeros = values.iter().filter(|v| **v == 0.0).count();
+        // Achieved zero count is within 1 of the target (ties / existing
+        // zeros can push it slightly over).
+        prop_assert!(zeros + 1 >= expected_zeros.max(original_zeros));
+        prop_assert!((achieved - zeros as f64 / values.len() as f64).abs() < 1e-9);
+        // Every surviving value has magnitude >= every pruned (non-zero
+        // originally) value's magnitude... checked via threshold ordering.
+        let kept_min = pruned
+            .iter()
+            .filter(|v| **v != 0.0)
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        for (original, now) in values.iter().zip(pruned.iter()) {
+            if *now == 0.0 && *original != 0.0 {
+                prop_assert!(original.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+}
