@@ -71,7 +71,7 @@ impl DynamismEngine for EgeriaEngine {
     }
 
     fn extra_overhead(&self, iteration: u64) -> f64 {
-        if iteration > 0 && iteration % self.check_interval == 0 {
+        if iteration > 0 && iteration.is_multiple_of(self.check_interval) {
             // The reference model covers every (still unfrozen) layer; the
             // cost is dominated by the full sweep, so it scales with depth.
             self.num_layers as f64 * self.per_layer_check_cost
@@ -137,7 +137,7 @@ impl DynamismEngine for AutoFreezeEngine {
     }
 
     fn extra_overhead(&self, iteration: u64) -> f64 {
-        if iteration > 0 && iteration % self.check_interval == 0 {
+        if iteration > 0 && iteration.is_multiple_of(self.check_interval) {
             self.num_layers as f64 * Self::PER_LAYER_COST
         } else {
             0.0

@@ -99,11 +99,8 @@ impl LoadBalancer for DeepSpeedBalancer {
                 return MegatronUniformBalancer::new().rebalance(request);
             }
             DeepSpeedMethod::Parameters => {
-                let weights: Vec<f64> = request
-                    .loads
-                    .iter()
-                    .map(|l| l.param_count as f64)
-                    .collect();
+                let weights: Vec<f64> =
+                    request.loads.iter().map(|l| l.param_count as f64).collect();
                 partition_balanced(&weights, request.num_stages)
             }
             DeepSpeedMethod::Regex(_) => {
@@ -195,12 +192,12 @@ pub fn deepspeed_initial_assignment(
             let mut layer_to_stage = vec![0usize; model.num_layers()];
             let mut current_stage = 0usize;
             let mut match_idx = 0usize;
-            for layer in 0..model.num_layers() {
+            for (layer, stage_slot) in layer_to_stage.iter_mut().enumerate() {
                 if match_idx < matching.len() && matching[match_idx] == layer {
                     current_stage = matched_assignment.stage_of(match_idx);
                     match_idx += 1;
                 }
-                layer_to_stage[layer] = current_stage;
+                *stage_slot = current_stage;
             }
             StageAssignment::new(num_stages, layer_to_stage).expect("stages in range")
         }

@@ -143,7 +143,10 @@ mod tests {
         for &l in &tfm {
             assert!((tutel_update.fwd_scale[l] - cap).abs() < 1e-12);
         }
-        let raw_max = tfm.iter().map(|&l| raw_update.fwd_scale[l]).fold(f64::MIN, f64::max);
+        let raw_max = tfm
+            .iter()
+            .map(|&l| raw_update.fwd_scale[l])
+            .fold(f64::MIN, f64::max);
         assert!(cap <= raw_max + 1e-12);
         // The cap is above 1: padding wastes compute relative to perfectly
         // balanced routing.
@@ -162,7 +165,10 @@ mod tests {
                 any_drop = true;
             }
         }
-        assert!(any_drop, "aux-loss routing should exceed capacity sometimes");
+        assert!(
+            any_drop,
+            "aux-loss routing should exceed capacity sometimes"
+        );
     }
 
     #[test]
@@ -171,7 +177,10 @@ mod tests {
         let inner = MoeEngine::new(&model, RoutingStrategy::SBase, 1);
         let tutel = TutelMoeEngine::new(&model, inner);
         assert_eq!(tutel.case(), DynamismCase::MixtureOfExperts);
-        assert_eq!(tutel.rebalance_frequency(), RebalanceFrequency::EveryIteration);
+        assert_eq!(
+            tutel.rebalance_frequency(),
+            RebalanceFrequency::EveryIteration
+        );
         assert!(tutel.name().contains("tutel"));
         assert_eq!(tutel.extra_overhead(0), 0.0);
     }

@@ -30,14 +30,28 @@ fn main() {
     let mut rows: Vec<IdlenessRow> = Vec::new();
     let mut table = Table::new(
         "Figure 1 — average idleness per iteration (static partitioning)",
-        &["Case", "Configuration", "Layers", "Idleness", "Bubble ratio", "ΔL (Eq.2)"],
+        &[
+            "Case",
+            "Configuration",
+            "Layers",
+            "Idleness",
+            "Bubble ratio",
+            "ΔL (Eq.2)",
+        ],
     );
 
     // MoE: Mixtral and LLaMA-MoE under their routers (no rebalancing).
     for case in [DynamicCase::MoeMixtral, DynamicCase::MoeLlama] {
         let config = CaseConfig::new(case, 32, scale);
         let result = run_configuration(&config, BalancerKind::StaticMegatron);
-        push(&mut table, &mut rows, case, "token-choice (aux loss)", 32, &result.report);
+        push(
+            &mut table,
+            &mut rows,
+            case,
+            "token-choice (aux loss)",
+            32,
+            &result.report,
+        );
     }
 
     // GPT cases: sweep the paper's layer counts; report the dynamic scheme
@@ -48,7 +62,14 @@ fn main() {
         for &layers in &layer_counts {
             let config = CaseConfig::new(case, layers, scale);
             let dynamic = run_configuration(&config, BalancerKind::StaticMegatron);
-            push(&mut table, &mut rows, case, "static partitioning", layers, &dynamic.report);
+            push(
+                &mut table,
+                &mut rows,
+                case,
+                "static partitioning",
+                layers,
+                &dynamic.report,
+            );
             if case.sota_label().is_some() {
                 let baseline = run_configuration(&config, BalancerKind::Sota);
                 push(

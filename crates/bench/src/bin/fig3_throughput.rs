@@ -8,11 +8,11 @@
 //!   re-packing enabled, reproducing the paper's claim that re-packing adds
 //!   only ~4–11% on top of rebalancing (§3.4.2 / §5.1).
 
+use dynmo_bench::cases::reference_throughput;
 use dynmo_bench::{
     dump_json, fmt, headline_speedup, run_comparison, run_configuration, BalancerKind, CaseConfig,
     ConfigurationResult, DynamicCase, ExperimentScale, Table,
 };
-use dynmo_bench::cases::reference_throughput;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -76,7 +76,13 @@ fn print_case_table(
     let reference = reference_throughput(results);
     let mut table = Table::new(
         &format!("{} — {} layers", case.label(), layers),
-        &["Configuration", "Tokens/sec", "Speedup", "Bubble", "Overhead"],
+        &[
+            "Configuration",
+            "Tokens/sec",
+            "Speedup",
+            "Bubble",
+            "Overhead",
+        ],
     );
     for result in results {
         let speedup = if reference > 0.0 {
@@ -112,9 +118,19 @@ fn ablation_repack(scale: ExperimentScale, all_rows: &mut Vec<ThroughputRow>) {
     println!("Re-packing ablation (best DynMo variant, with vs without re-packing):\n");
     let mut table = Table::new(
         "ABL-REPACK — re-packing on top of rebalancing",
-        &["Case", "Without re-pack (tok/s)", "With re-pack (tok/s)", "Delta", "Avg GPUs (w/ re-pack)"],
+        &[
+            "Case",
+            "Without re-pack (tok/s)",
+            "With re-pack (tok/s)",
+            "Delta",
+            "Avg GPUs (w/ re-pack)",
+        ],
     );
-    for case in [DynamicCase::Pruning, DynamicCase::Freezing, DynamicCase::EarlyExit] {
+    for case in [
+        DynamicCase::Pruning,
+        DynamicCase::Freezing,
+        DynamicCase::EarlyExit,
+    ] {
         let without = run_configuration(
             &CaseConfig::new(case, 24, scale),
             BalancerKind::PartitionByTime,

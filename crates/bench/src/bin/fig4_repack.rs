@@ -75,7 +75,11 @@ fn packed_gpu_sweep(scale: ExperimentScale) {
         ..DeviceSpec::h100_sxm5()
     };
     let mut rows: Vec<PackedRow> = Vec::new();
-    for case in [DynamicCase::Pruning, DynamicCase::Freezing, DynamicCase::EarlyExit] {
+    for case in [
+        DynamicCase::Pruning,
+        DynamicCase::Freezing,
+        DynamicCase::EarlyExit,
+    ] {
         let mut table = Table::new(
             &format!("{} — packed onto fewer GPUs", case.label()),
             &["Layers", "GPUs", "Tokens/sec", "Tokens/sec/GPU", "Status"],
@@ -96,11 +100,8 @@ fn packed_gpu_sweep(scale: ExperimentScale) {
 
                 // OOM check against the device capacity before running.
                 let engine_update = dynmo_dynamics::LoadUpdate::identity(model.num_layers());
-                let loads = dynmo_core::profiler::profile_layers(
-                    &model,
-                    &engine_update,
-                    &cluster.device,
-                );
+                let loads =
+                    dynmo_core::profiler::profile_layers(&model, &engine_update, &cluster.device);
                 let assignment = StageAssignment::uniform(model.num_layers(), gpus);
                 let memory = check_stage_memory(
                     &assignment,
@@ -178,7 +179,11 @@ fn average_gpu_usage(scale: ExperimentScale) {
         "Average number of GPUs used over the training run (dynamic re-packing)",
         &["Case", "Layers", "Avg GPUs", "Final GPUs"],
     );
-    for case in [DynamicCase::Pruning, DynamicCase::Freezing, DynamicCase::EarlyExit] {
+    for case in [
+        DynamicCase::Pruning,
+        DynamicCase::Freezing,
+        DynamicCase::EarlyExit,
+    ] {
         for &layers in &layer_counts {
             let config = CaseConfig {
                 repack: true,

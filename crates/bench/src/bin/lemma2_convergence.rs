@@ -55,7 +55,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Diffusion convergence: measured rounds vs Lemma 2 bound",
-        &["Workers", "Layers", "Rounds", "Bound", "ΔL before", "ΔL after"],
+        &[
+            "Workers",
+            "Layers",
+            "Rounds",
+            "Bound",
+            "ΔL before",
+            "ΔL after",
+        ],
     );
     let balancer = DiffusionBalancer::new();
     for &workers in &worker_counts {

@@ -66,7 +66,11 @@ fn main() {
         ExperimentScale::Smoke => (128usize, 64usize, 128usize),
         _ => (512, 128, 512),
     };
-    let reps = if scale == ExperimentScale::Smoke { 2 } else { 5 };
+    let reps = if scale == ExperimentScale::Smoke {
+        2
+    } else {
+        5
+    };
 
     let model = KernelCostModel::h100();
     let mut table = Table::new(
@@ -97,8 +101,18 @@ fn main() {
         let a_dense = random_dense(cm, ck, sparsity, 42 + pct);
         let b = random_dense(ck, cn, 0.0, 7);
         let a_csr = CsrMatrix::from_dense(&a_dense);
-        let cpu_dense = time_us(|| { let _ = a_dense.matmul(&b); }, reps);
-        let cpu_sparse = time_us(|| { let _ = spmm(&a_csr, &b); }, reps);
+        let cpu_dense = time_us(
+            || {
+                let _ = a_dense.matmul(&b);
+            },
+            reps,
+        );
+        let cpu_sparse = time_us(
+            || {
+                let _ = spmm(&a_csr, &b);
+            },
+            reps,
+        );
 
         table.add_row(vec![
             format!("{pct}%"),

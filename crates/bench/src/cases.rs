@@ -6,8 +6,8 @@
 //! for each combination.
 
 use dynmo_baselines::{
-    deepspeed_initial_assignment, megatron_initial_assignment, static_controller,
-    DeepSpeedMethod, EgeriaEngine, TutelMoeEngine,
+    deepspeed_initial_assignment, megatron_initial_assignment, static_controller, DeepSpeedMethod,
+    EgeriaEngine, TutelMoeEngine,
 };
 use dynmo_core::balancer::{BalanceObjective, DiffusionBalancer, PartitionBalancer};
 use dynmo_core::controller::{RebalanceController, RebalancePolicy};
@@ -267,9 +267,11 @@ pub fn build_engine(
             };
             Box::new(EarlyExitEngine::new(model, method, seed))
         }
-        DynamicCase::MixtureOfDepths => {
-            Box::new(MixtureOfDepthsEngine::new(model, ModConfig::paper_default(), seed))
-        }
+        DynamicCase::MixtureOfDepths => Box::new(MixtureOfDepthsEngine::new(
+            model,
+            ModConfig::paper_default(),
+            seed,
+        )),
     }
 }
 
@@ -286,20 +288,16 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
         BalancerKind::StaticMegatron | BalancerKind::StaticDeepSpeedParam | BalancerKind::Sota => {
             static_controller()
         }
-        BalancerKind::PartitionByParam | BalancerKind::PartitionByTime => {
-            RebalanceController::new(
-                Box::new(PartitionBalancer::new()),
-                balancer.objective(),
-                repack_policy(config, cluster),
-            )
-        }
-        BalancerKind::DiffusionByParam | BalancerKind::DiffusionByTime => {
-            RebalanceController::new(
-                Box::new(DiffusionBalancer::new()),
-                balancer.objective(),
-                repack_policy(config, cluster),
-            )
-        }
+        BalancerKind::PartitionByParam | BalancerKind::PartitionByTime => RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            balancer.objective(),
+            repack_policy(config, cluster),
+        ),
+        BalancerKind::DiffusionByParam | BalancerKind::DiffusionByTime => RebalanceController::new(
+            Box::new(DiffusionBalancer::new()),
+            balancer.objective(),
+            repack_policy(config, cluster),
+        ),
     };
 
     let initial = match balancer {
@@ -319,7 +317,11 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
     ConfigurationResult {
         balancer,
         label: if balancer == BalancerKind::Sota {
-            config.case.sota_label().unwrap_or("SoTA baseline").to_string()
+            config
+                .case
+                .sota_label()
+                .unwrap_or("SoTA baseline")
+                .to_string()
         } else {
             balancer.label().to_string()
         },
@@ -439,7 +441,11 @@ mod tests {
         let scale = ExperimentScale::Smoke;
         for case in DynamicCase::ALL {
             let model = case.model(24);
-            for kind in [BalancerKind::StaticMegatron, BalancerKind::Sota, BalancerKind::DiffusionByTime] {
+            for kind in [
+                BalancerKind::StaticMegatron,
+                BalancerKind::Sota,
+                BalancerKind::DiffusionByTime,
+            ] {
                 if kind == BalancerKind::Sota && case.sota_label().is_none() {
                     continue;
                 }

@@ -123,8 +123,14 @@ mod tests {
 
     #[test]
     fn parse_and_from_args() {
-        assert_eq!(ExperimentScale::parse("paper"), Some(ExperimentScale::Paper));
-        assert_eq!(ExperimentScale::parse("SMOKE"), Some(ExperimentScale::Smoke));
+        assert_eq!(
+            ExperimentScale::parse("paper"),
+            Some(ExperimentScale::Paper)
+        );
+        assert_eq!(
+            ExperimentScale::parse("SMOKE"),
+            Some(ExperimentScale::Smoke)
+        );
         assert_eq!(ExperimentScale::parse("bogus"), None);
         let args = vec!["--scale".to_string(), "smoke".to_string()];
         assert_eq!(ExperimentScale::from_args(&args), ExperimentScale::Smoke);

@@ -98,11 +98,13 @@ impl LoadBalancer for DiffusionBalancer {
             let mut best_pair: Option<(usize, usize, f64)> = None;
             for s in 0..request.num_stages.saturating_sub(1) {
                 let gap = (loads[s] - loads[s + 1]).abs();
-                if best_pair.map_or(true, |(_, _, g)| gap > g) {
+                if best_pair.is_none_or(|(_, _, g)| gap > g) {
                     best_pair = Some((s, s + 1, gap));
                 }
             }
-            let Some((left, right, _)) = best_pair else { break };
+            let Some((left, right, _)) = best_pair else {
+                break;
+            };
 
             // Move one boundary layer from the heavier to the lighter stage,
             // if it decreases φ and fits in memory.
@@ -246,7 +248,9 @@ mod tests {
 
     #[test]
     fn rounds_stay_within_the_lemma2_bound() {
-        let times: Vec<f64> = (0..48).map(|i| 0.3 + ((i * 37) % 17) as f64 * 0.2).collect();
+        let times: Vec<f64> = (0..48)
+            .map(|i| 0.3 + ((i * 37) % 17) as f64 * 0.2)
+            .collect();
         let loads = loads_from_times(&times);
         for stages in [2usize, 4, 8, 16] {
             let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime);
@@ -264,7 +268,7 @@ mod tests {
 
     #[test]
     fn already_balanced_input_converges_immediately() {
-        let loads = loads_from_times(&vec![1.0; 16]);
+        let loads = loads_from_times(&[1.0; 16]);
         let current = StageAssignment::uniform(16, 4);
         let request = BalanceRequest::new(&loads, 4, u64::MAX, BalanceObjective::ByTime)
             .with_current(&current);
@@ -277,7 +281,7 @@ mod tests {
     fn memory_capacity_blocks_overfilling_a_stage() {
         // Stage 1's layers are tiny in time, so diffusion wants to push
         // everything there — but memory only fits 5 layers per stage.
-        let mut loads = loads_from_times(&vec![1.0; 8]);
+        let mut loads = loads_from_times(&[1.0; 8]);
         for (i, l) in loads.iter_mut().enumerate() {
             l.fwd_time = if i < 4 { 3.0 } else { 0.1 };
             l.bwd_time = 0.0;
@@ -294,7 +298,7 @@ mod tests {
 
     #[test]
     fn mismatched_current_stage_count_restarts_from_uniform() {
-        let loads = loads_from_times(&vec![1.0; 12]);
+        let loads = loads_from_times(&[1.0; 12]);
         let current = StageAssignment::uniform(12, 6);
         // Request only 3 stages: the 6-stage current assignment is ignored.
         let request = BalanceRequest::new(&loads, 3, u64::MAX, BalanceObjective::ByTime)

@@ -99,7 +99,9 @@ impl LoadBalancer for PartitionBalancer {
     }
 
     fn rebalance(&self, request: &BalanceRequest<'_>) -> BalanceOutcome {
-        let weights: Vec<f64> = (0..request.loads.len()).map(|l| request.weight(l)).collect();
+        let weights: Vec<f64> = (0..request.loads.len())
+            .map(|l| request.weight(l))
+            .collect();
         let mut counts = partition_balanced(&weights, request.num_stages);
 
         // Memory feasibility pass: if the weight-balanced split blows a
@@ -110,8 +112,8 @@ impl LoadBalancer for PartitionBalancer {
             let mem_weights: Vec<f64> = (0..request.loads.len())
                 .map(|l| {
                     let inflight = *request.inflight.first().unwrap_or(&1) as u64;
-                    (request.loads[l].static_bytes
-                        + request.loads[l].activation_bytes * inflight) as f64
+                    (request.loads[l].static_bytes + request.loads[l].activation_bytes * inflight)
+                        as f64
                 })
                 .collect();
             counts = partition_balanced(&mem_weights, request.num_stages);
@@ -211,7 +213,8 @@ mod tests {
         assert_eq!(outcome.rounds, 1);
 
         let uniform = dynmo_pipeline::StageAssignment::uniform(24, 4);
-        let uniform_imb = load_imbalance(&stage_weights(&uniform, &loads, BalanceObjective::ByTime));
+        let uniform_imb =
+            load_imbalance(&stage_weights(&uniform, &loads, BalanceObjective::ByTime));
         let balanced_imb = load_imbalance(&stage_weights(
             &outcome.assignment,
             &loads,
@@ -226,7 +229,7 @@ mod tests {
     #[test]
     fn by_param_and_by_time_objectives_can_differ() {
         // Times skewed toward late layers, params uniform.
-        let mut loads = loads_from_times(&vec![1.0; 12]);
+        let mut loads = loads_from_times(&[1.0; 12]);
         for (i, load) in loads.iter_mut().enumerate() {
             load.fwd_time = (i as f64 + 1.0) / 3.0;
             load.bwd_time = 2.0 * (i as f64 + 1.0) / 3.0;
@@ -255,7 +258,7 @@ mod tests {
     fn memory_constraint_falls_back_to_memory_partitioning() {
         // Layer times are extremely skewed toward the first layer, but the
         // memory budget cannot hold more than 3 layers per stage.
-        let mut loads = loads_from_times(&vec![1.0; 8]);
+        let mut loads = loads_from_times(&[1.0; 8]);
         for (i, load) in loads.iter_mut().enumerate() {
             load.fwd_time = if i == 0 { 100.0 } else { 0.001 };
             load.bwd_time = 0.0;

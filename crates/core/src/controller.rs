@@ -298,7 +298,10 @@ mod tests {
     fn rebalance_without_repack_keeps_all_workers() {
         let c = controller(RebalancePolicy::dynamic());
         let current = StageAssignment::uniform(16, 4);
-        let loads = loads(&(0..16).map(|i| 1.0 + i as f64 * 0.2).collect::<Vec<_>>(), 100);
+        let loads = loads(
+            &(0..16).map(|i| 1.0 + i as f64 * 0.2).collect::<Vec<_>>(),
+            100,
+        );
         let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 4], &comm(), 1, 32);
         assert_eq!(outcome.active_workers, 4);
         assert!(outcome.released_workers.is_empty());
@@ -321,7 +324,7 @@ mod tests {
         };
         let c = controller(RebalancePolicy::dynamic_with_repack(repack));
         let current = StageAssignment::uniform(16, 8);
-        let loads = loads(&vec![0.5; 16], 10);
+        let loads = loads(&[0.5; 16], 10);
         let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 8], &comm(), 1, 32);
         assert_eq!(outcome.active_workers, 2);
         assert_eq!(outcome.released_workers, vec![2, 3, 4, 5, 6, 7]);
@@ -338,7 +341,7 @@ mod tests {
         };
         let c = controller(RebalancePolicy::dynamic_with_repack(repack));
         let current = StageAssignment::uniform(8, 4);
-        let loads = loads(&vec![0.5; 8], 10);
+        let loads = loads(&[0.5; 8], 10);
         let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 4], &comm(), 3, 32);
         assert_eq!(outcome.active_workers, 3);
     }

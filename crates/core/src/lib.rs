@@ -37,9 +37,7 @@ pub mod repack;
 pub mod report;
 pub mod trainer;
 
-pub use balancer::{
-    BalanceObjective, DiffusionBalancer, LoadBalancer, PartitionBalancer,
-};
+pub use balancer::{BalanceObjective, DiffusionBalancer, LoadBalancer, PartitionBalancer};
 pub use controller::{RebalanceController, RebalancePolicy};
 pub use elastic::{JobManager, MockJobManager};
 pub use imbalance::load_imbalance;

@@ -74,7 +74,9 @@ impl MigrationPlan {
         let mut per_pair: HashMap<(usize, usize), f64> = HashMap::new();
         for step in &self.steps {
             let time = comm.migration_time(step.bytes, step.from_stage, step.to_stage);
-            *per_pair.entry((step.from_stage, step.to_stage)).or_insert(0.0) += time;
+            *per_pair
+                .entry((step.from_stage, step.to_stage))
+                .or_insert(0.0) += time;
         }
         per_pair.values().copied().fold(0.0, f64::max)
     }

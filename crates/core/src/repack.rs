@@ -92,9 +92,8 @@ pub fn plan_repack(
     let budget = (config.max_memory as f64 * config.utilization_cap) as u64;
 
     // Current per-worker memory usage and layer lists.
-    let mut stage_layers: Vec<Vec<usize>> = (0..num_stages)
-        .map(|s| assignment.layers_of(s))
-        .collect();
+    let mut stage_layers: Vec<Vec<usize>> =
+        (0..num_stages).map(|s| assignment.layers_of(s)).collect();
     let mut mem_usage: Vec<u64> = (0..num_stages)
         .map(|s| stage_memory(&stage_layers[s], loads, inflight[s]))
         .collect();
@@ -117,11 +116,7 @@ pub fn plan_repack(
                 // Move all of src's layers to dst.
                 let moving = std::mem::take(&mut stage_layers[src]);
                 for &layer in &moving {
-                    transfers.push(RepackTransfer {
-                        src,
-                        dst,
-                        layer,
-                    });
+                    transfers.push(RepackTransfer { src, dst, layer });
                 }
                 stage_layers[dst].extend(moving);
                 stage_layers[dst].sort_unstable();
@@ -178,7 +173,11 @@ mod tests {
         }
     }
 
-    fn simple_case(per_layer_bytes: u64, layers_per_stage: usize, stages: usize) -> (StageAssignment, Vec<LayerLoad>) {
+    fn simple_case(
+        per_layer_bytes: u64,
+        layers_per_stage: usize,
+        stages: usize,
+    ) -> (StageAssignment, Vec<LayerLoad>) {
         let num_layers = layers_per_stage * stages;
         let assignment = StageAssignment::uniform(num_layers, stages);
         let loads: Vec<LayerLoad> = (0..num_layers).map(|i| load(i, per_layer_bytes)).collect();

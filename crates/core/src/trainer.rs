@@ -141,10 +141,7 @@ impl Trainer {
         let model_cfg = self.model.config().clone();
 
         let mut assignment = self.initial_assignment.clone().unwrap_or_else(|| {
-            StageAssignment::uniform(
-                self.model.num_layers(),
-                self.config.cluster.pipeline_stages,
-            )
+            StageAssignment::uniform(self.model.num_layers(), self.config.cluster.pipeline_stages)
         });
         let mut active_workers = assignment.num_stages();
         let mut loads: Vec<LayerLoad> = Vec::new();
@@ -206,9 +203,7 @@ impl Trainer {
                 if !outcome.released_workers.is_empty() {
                     self.job_manager.release(&outcome.released_workers);
                 }
-                if outcome.assignment != assignment
-                    || outcome.active_workers != active_workers
-                {
+                if outcome.assignment != assignment || outcome.active_workers != active_workers {
                     dirty = true;
                 }
                 active_workers = outcome.active_workers;
@@ -234,11 +229,8 @@ impl Trainer {
                 cached_idleness = report.average_idleness();
                 cached_bubble = report.bubble_ratio();
                 cached_tokens = throughput.tokens_per_iteration;
-                cached_imbalance = load_imbalance(&stage_weights(
-                    &assignment,
-                    &loads,
-                    self.config.objective,
-                ));
+                cached_imbalance =
+                    load_imbalance(&stage_weights(&assignment, &loads, self.config.objective));
                 dirty = false;
             }
 
@@ -356,8 +348,7 @@ mod tests {
     fn dynamic_rebalancing_beats_static_on_early_exit() {
         let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
         let mut static_trainer = Trainer::new(model.clone(), config(8, 300), static_controller());
-        let mut dynamic_trainer =
-            Trainer::new(model.clone(), config(8, 300), dynamic_controller());
+        let mut dynamic_trainer = Trainer::new(model.clone(), config(8, 300), dynamic_controller());
 
         let mut engine_a = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 11);
         let mut engine_b = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 11);

@@ -13,8 +13,8 @@
 //! reaching layer `i` decays geometrically with depth — the same shape as
 //! the measured CALM/ADP-C exit histograms.
 
-use dynmo_model::Model;
 use crate::rng::Prng;
+use dynmo_model::Model;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};

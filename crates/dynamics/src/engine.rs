@@ -67,7 +67,7 @@ impl RebalanceFrequency {
     pub fn is_due(&self, iteration: u64) -> bool {
         match self {
             RebalanceFrequency::EveryIteration => true,
-            RebalanceFrequency::EveryN(n) => *n != 0 && iteration % n == 0,
+            RebalanceFrequency::EveryN(n) => *n != 0 && iteration.is_multiple_of(*n),
         }
     }
 }

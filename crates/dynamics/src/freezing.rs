@@ -12,8 +12,8 @@
 //! `check_interval` iterations (the paper quotes checks as frequent as every
 //! 50 iterations, and a rebalance cadence of every ~300 iterations).
 
-use dynmo_model::Model;
 use crate::rng::Prng;
+use dynmo_model::Model;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
@@ -65,12 +65,21 @@ pub struct FreezingEngine {
 
 impl FreezingEngine {
     /// Build an engine for `model` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.check_interval` is zero, which would otherwise
+    /// silently disable freezing checks.
     pub fn new(model: &Model, policy: FreezingPolicy, seed: u64) -> Self {
+        assert!(
+            policy.check_interval > 0,
+            "FreezingPolicy::check_interval must be non-zero"
+        );
         let mut rng = Prng::seed_from(seed);
         let num_layers = model.num_layers();
         let transformer = model.transformer_layer_ids();
-        let freezable = ((transformer.len() as f64) * (1.0 - policy.never_freeze_fraction))
-            .round() as usize;
+        let freezable =
+            ((transformer.len() as f64) * (1.0 - policy.never_freeze_fraction)).round() as usize;
         let mut freeze_iteration = vec![u64::MAX; num_layers];
         for (pos, &layer) in transformer.iter().enumerate() {
             if pos < freezable {
@@ -126,7 +135,7 @@ impl DynamismEngine for FreezingEngine {
         let mut changed = false;
         // Freezing decisions are only taken at check intervals, mirroring
         // Egeria's periodic reference-model evaluation.
-        if iteration > 0 && iteration % self.policy.check_interval == 0 {
+        if iteration > 0 && iteration.is_multiple_of(self.policy.check_interval) {
             for l in 0..self.num_layers {
                 if !self.frozen[l] && self.freeze_iteration[l] <= iteration {
                     self.frozen[l] = true;
@@ -190,8 +199,7 @@ mod tests {
         // The frozen set is dominated by early layers: its mean index must
         // be well below the model midpoint.
         let frozen = e.frozen_layers();
-        let mean_idx: f64 =
-            frozen.iter().map(|&l| l as f64).sum::<f64>() / frozen.len() as f64;
+        let mean_idx: f64 = frozen.iter().map(|&l| l as f64).sum::<f64>() / frozen.len() as f64;
         assert!(mean_idx < 13.0, "mean frozen layer index {mean_idx}");
     }
 
@@ -231,8 +239,7 @@ mod tests {
         let transformer_count = gpt().transformer_layer_ids().len();
         assert!(e.num_frozen() < transformer_count);
         // Roughly the configured fraction stays active.
-        let expected_frozen =
-            (transformer_count as f64 * (1.0 - 0.25)).round() as usize;
+        let expected_frozen = (transformer_count as f64 * (1.0 - 0.25)).round() as usize;
         assert_eq!(e.num_frozen(), expected_frozen);
     }
 

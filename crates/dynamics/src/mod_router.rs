@@ -12,8 +12,8 @@
 //! predictor that over- or under-shoots the capacity per layer per
 //! iteration, and an optional interaction with MoE routing skew.
 
-use dynmo_model::{CostModel, Model};
 use crate::rng::Prng;
+use dynmo_model::{CostModel, Model};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
@@ -156,7 +156,6 @@ impl DynamismEngine for MixtureOfDepthsEngine {
     fn rebalance_frequency(&self) -> RebalanceFrequency {
         RebalanceFrequency::EveryIteration
     }
-
 }
 
 #[cfg(test)]
@@ -187,7 +186,11 @@ mod tests {
         u.validate().unwrap();
         assert!(u.changed);
         for &l in e.routed_layers() {
-            assert!(u.fwd_scale[l] > 0.3 && u.fwd_scale[l] < 0.75, "scale {}", u.fwd_scale[l]);
+            assert!(
+                u.fwd_scale[l] > 0.3 && u.fwd_scale[l] < 0.75,
+                "scale {}",
+                u.fwd_scale[l]
+            );
         }
         // Dense blocks are untouched.
         let tfm = model.transformer_layer_ids();

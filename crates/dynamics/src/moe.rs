@@ -239,7 +239,10 @@ mod tests {
         let model = mixtral();
         let engine = MoeEngine::new(&model, RoutingStrategy::SBase, 1);
         assert_eq!(engine.case(), DynamismCase::MixtureOfExperts);
-        assert_eq!(engine.rebalance_frequency(), RebalanceFrequency::EveryIteration);
+        assert_eq!(
+            engine.rebalance_frequency(),
+            RebalanceFrequency::EveryIteration
+        );
         assert!(engine.name().contains("s-base"));
         assert_eq!(engine.strategy(), RoutingStrategy::SBase);
     }

@@ -16,10 +16,10 @@
 //!    Sputnik/cuBLAS kernel cost model translates retention into per-layer
 //!    compute multipliers.
 
+use crate::rng::Prng;
 use dynmo_model::Model;
 use dynmo_runtime::{Communicator, Payload, Result as RtResult};
 use dynmo_sparse::{top_k_magnitudes, KernelCostModel, SpmmBackend};
-use crate::rng::Prng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
@@ -76,7 +76,7 @@ impl PruningSchedule {
             return false;
         }
         let end = self.start_iteration + self.num_steps * self.frequency;
-        t <= end && (t - self.start_iteration) % self.frequency == 0
+        t <= end && (t - self.start_iteration).is_multiple_of(self.frequency)
     }
 }
 
@@ -163,7 +163,20 @@ pub struct GradualPruningEngine {
 
 impl GradualPruningEngine {
     /// Build an engine for `model` with the given schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule.frequency` or `schedule.num_steps` is zero —
+    /// both are divisors in the cubic sparsity schedule.
     pub fn new(model: &Model, schedule: PruningSchedule, seed: u64) -> Self {
+        assert!(
+            schedule.frequency > 0,
+            "PruningSchedule::frequency must be non-zero"
+        );
+        assert!(
+            schedule.num_steps > 0,
+            "PruningSchedule::num_steps must be non-zero"
+        );
         let mut rng = Prng::seed_from(seed);
         let transformer_layers = model.transformer_layer_ids();
         let num_layers = model.num_layers();
@@ -183,7 +196,11 @@ impl GradualPruningEngine {
             })
             .collect();
         let cfg = model.config();
-        let gemm_shape = (cfg.hidden_size, cfg.seq_len * cfg.micro_batch_size, cfg.ffn_hidden_size);
+        let gemm_shape = (
+            cfg.hidden_size,
+            cfg.seq_len * cfg.micro_batch_size,
+            cfg.ffn_hidden_size,
+        );
         GradualPruningEngine {
             schedule,
             kernel_cost: KernelCostModel::h100(),
@@ -267,7 +284,8 @@ impl GradualPruningEngine {
     /// The backend the engine would select at the current sparsity.
     pub fn current_backend(&self) -> SpmmBackend {
         let (m, n, k) = self.gemm_shape;
-        self.kernel_cost.best_backend(m, n, k, self.current_sparsity)
+        self.kernel_cost
+            .best_backend(m, n, k, self.current_sparsity)
     }
 }
 
@@ -284,8 +302,8 @@ impl DynamismEngine for GradualPruningEngine {
     }
 
     fn step(&mut self, iteration: u64) -> LoadUpdate {
-        let changed = self.schedule.is_pruning_step(iteration)
-            && Some(iteration) != self.last_pruning_step;
+        let changed =
+            self.schedule.is_pruning_step(iteration) && Some(iteration) != self.last_pruning_step;
         if changed {
             self.current_sparsity = self.schedule.sparsity_at(iteration);
             self.last_pruning_step = Some(iteration);
@@ -355,8 +373,7 @@ mod tests {
         let engine = GradualPruningEngine::new(&gpt(), PruningSchedule::paper_default(), 7);
         let retention = engine.per_layer_retention(0.9);
         let tfm = gpt().transformer_layer_ids();
-        let avg: f64 =
-            tfm.iter().map(|&l| retention[l]).sum::<f64>() / tfm.len() as f64;
+        let avg: f64 = tfm.iter().map(|&l| retention[l]).sum::<f64>() / tfm.len() as f64;
         assert!((avg - 0.1).abs() < 0.02, "average retention {avg}");
         // Retention varies across layers (the imbalance source).
         let min = tfm.iter().map(|&l| retention[l]).fold(f64::MAX, f64::min);

@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn next_below_respects_the_bound() {
         let mut rng = Prng::seed_from(11);
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         for _ in 0..200 {
             let v = rng.next_below(5);
             assert!(v < 5);

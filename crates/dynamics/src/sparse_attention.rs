@@ -13,8 +13,8 @@
 //! multiplier using the analytical FLOP split between the attention score
 //! terms (which scale with density) and everything else (which does not).
 
-use dynmo_model::{CostModel, Model};
 use crate::rng::Prng;
+use dynmo_model::{CostModel, Model};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};

@@ -74,12 +74,12 @@ impl TokenStreamGenerator {
         // the expectation plus binomial-like jitter, which preserves the
         // mean and variance structure at a fraction of the cost.
         let mut assigned = 0usize;
-        for e in 0..self.num_experts {
+        for (e, slot) in counts.iter_mut().enumerate() {
             let expectation = self.popularity[e] * self.tokens_per_batch as f64;
             // ±6% multiplicative routing noise per iteration.
             let noise = 1.0 + (self.rng.next_f64() - 0.5) * 0.12;
             let count = (expectation * noise).round().max(0.0) as usize;
-            counts[e] = count;
+            *slot = count;
             assigned += count;
         }
         // Fix up rounding drift so the total is exact.

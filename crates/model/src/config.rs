@@ -164,7 +164,7 @@ impl ModelConfig {
     /// Number of micro-batches per global batch for a single pipeline
     /// (i.e. before dividing by the data-parallel degree).
     pub fn micro_batches_per_batch(&self) -> usize {
-        (self.global_batch_size + self.micro_batch_size - 1) / self.micro_batch_size
+        self.global_batch_size.div_ceil(self.micro_batch_size)
     }
 
     /// Tokens processed per global batch.
@@ -181,7 +181,7 @@ impl ModelConfig {
         if self.hidden_size == 0 || self.num_heads == 0 {
             return Err("hidden_size and num_heads must be positive".into());
         }
-        if self.hidden_size % self.num_heads != 0 {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
             return Err(format!(
                 "hidden_size {} must be divisible by num_heads {}",
                 self.hidden_size, self.num_heads
@@ -190,7 +190,7 @@ impl ModelConfig {
         if self.micro_batch_size == 0 || self.global_batch_size == 0 {
             return Err("batch sizes must be positive".into());
         }
-        if self.global_batch_size % self.micro_batch_size != 0 {
+        if !self.global_batch_size.is_multiple_of(self.micro_batch_size) {
             return Err(format!(
                 "global_batch_size {} must be divisible by micro_batch_size {}",
                 self.global_batch_size, self.micro_batch_size

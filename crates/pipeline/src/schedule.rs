@@ -144,9 +144,7 @@ mod tests {
     fn gpipe_runs_all_forwards_before_any_backward() {
         let ops = worker_op_order(ScheduleKind::GPipe, 1, 4, 6);
         let first_bwd = ops.iter().position(|o| o.kind == OpKind::Backward).unwrap();
-        assert!(ops[..first_bwd]
-            .iter()
-            .all(|o| o.kind == OpKind::Forward));
+        assert!(ops[..first_bwd].iter().all(|o| o.kind == OpKind::Forward));
         assert_eq!(first_bwd, 6);
     }
 
@@ -156,9 +154,12 @@ mod tests {
         let m = 8;
         // First stage has the longest warm-up (p-1 forwards).
         let ops0 = worker_op_order(ScheduleKind::OneFOneB, 0, p, m);
-        let first_bwd0 = ops0.iter().position(|o| o.kind == OpKind::Backward).unwrap();
+        let first_bwd0 = ops0
+            .iter()
+            .position(|o| o.kind == OpKind::Backward)
+            .unwrap();
         assert_eq!(first_bwd0, p - 1 + 1); // warmup forwards + 1 steady forward
-        // Last stage alternates immediately.
+                                           // Last stage alternates immediately.
         let ops3 = worker_op_order(ScheduleKind::OneFOneB, p - 1, p, m);
         assert_eq!(ops3[0].kind, OpKind::Forward);
         assert_eq!(ops3[1].kind, OpKind::Backward);

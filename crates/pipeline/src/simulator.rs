@@ -96,8 +96,10 @@ impl PipelineSimulator {
                                 if dep.is_nan() {
                                     None
                                 } else {
-                                    Some(dep.max(own_fwd)
-                                        + self.comm.activation_transfer_time(model, s + 1, s))
+                                    Some(
+                                        dep.max(own_fwd)
+                                            + self.comm.activation_transfer_time(model, s + 1, s),
+                                    )
                                 }
                             }
                         }
@@ -176,11 +178,7 @@ mod tests {
         }
     }
 
-    fn simulate(
-        schedule: ScheduleKind,
-        fwd_times: &[f64],
-        microbatches: usize,
-    ) -> IterationReport {
+    fn simulate(schedule: ScheduleKind, fwd_times: &[f64], microbatches: usize) -> IterationReport {
         let loads: Vec<StageLoad> = fwd_times.iter().map(|&f| stage(f)).collect();
         let comm = CommCostModel::new(zero_comm_cluster(loads.len()));
         let sim = PipelineSimulator::new(comm, schedule);
@@ -259,9 +257,7 @@ mod tests {
         let tokens = 16 * 2 * 2048;
         let balanced = simulate(ScheduleKind::OneFOneB, &[1.0; 4], 16);
         let imbalanced = simulate(ScheduleKind::OneFOneB, &[1.0, 1.0, 1.0, 2.0], 16);
-        assert!(
-            balanced.tokens_per_second(tokens) > 1.5 * imbalanced.tokens_per_second(tokens)
-        );
+        assert!(balanced.tokens_per_second(tokens) > 1.5 * imbalanced.tokens_per_second(tokens));
     }
 
     #[test]

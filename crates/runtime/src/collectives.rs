@@ -63,7 +63,9 @@ impl Communicator {
     /// Broadcast `payload` from local rank `root` to every member; every rank
     /// receives the root's payload as the return value.
     pub fn broadcast(&self, root: usize, payload: Payload) -> Result<Payload> {
-        self.fabric().stats().record_collective(CollectiveKind::Broadcast);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::Broadcast);
         if root >= self.size() {
             return Err(RuntimeError::InvalidArgument(format!(
                 "broadcast root {root} out of range for communicator of size {}",
@@ -86,7 +88,9 @@ impl Communicator {
     /// `Some(payloads)` ordered by local rank; other ranks receive `None`.
     /// Payload sizes may differ per rank (the Algorithm 1 use case).
     pub fn gather(&self, root: usize, payload: Payload) -> Result<Option<Vec<Payload>>> {
-        self.fabric().stats().record_collective(CollectiveKind::Gather);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::Gather);
         if root >= self.size() {
             return Err(RuntimeError::InvalidArgument(format!(
                 "gather root {root} out of range for communicator of size {}",
@@ -96,9 +100,9 @@ impl Communicator {
         if self.rank() == root {
             let mut gathered: Vec<Option<Payload>> = vec![None; self.size()];
             gathered[root] = Some(payload);
-            for src in 0..self.size() {
+            for (src, slot) in gathered.iter_mut().enumerate() {
                 if src != root {
-                    gathered[src] = Some(self.recv_internal(src, TAG_GATHER)?);
+                    *slot = Some(self.recv_internal(src, TAG_GATHER)?);
                 }
             }
             Ok(Some(
@@ -117,7 +121,9 @@ impl Communicator {
     /// `Some(payloads)` with exactly one entry per member rank; other ranks
     /// pass `None`.  Each rank returns the payload destined for it.
     pub fn scatter(&self, root: usize, payloads: Option<Vec<Payload>>) -> Result<Payload> {
-        self.fabric().stats().record_collective(CollectiveKind::Scatter);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::Scatter);
         if root >= self.size() {
             return Err(RuntimeError::InvalidArgument(format!(
                 "scatter root {root} out of range for communicator of size {}",
@@ -157,14 +163,16 @@ impl Communicator {
     /// All-gather: every rank contributes a payload and receives every rank's
     /// payload, ordered by local rank.
     pub fn allgather(&self, payload: Payload) -> Result<Vec<Payload>> {
-        self.fabric().stats().record_collective(CollectiveKind::AllGather);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::AllGather);
         // Gather to rank 0 then broadcast each entry.
         let n = self.size();
         if self.rank() == 0 {
             let mut gathered: Vec<Option<Payload>> = vec![None; n];
             gathered[0] = Some(payload);
-            for src in 1..n {
-                gathered[src] = Some(self.recv_internal(src, TAG_ALLGATHER)?);
+            for (src, slot) in gathered.iter_mut().enumerate().skip(1) {
+                *slot = Some(self.recv_internal(src, TAG_ALLGATHER)?);
             }
             let gathered: Vec<Payload> = gathered
                 .into_iter()
@@ -189,7 +197,9 @@ impl Communicator {
     /// Reduce `f32` vectors element-wise onto `root` with operator `op`.
     /// All ranks must pass vectors of identical length.
     pub fn reduce_f32(&self, root: usize, value: &[f32], op: ReduceOp) -> Result<Option<Vec<f32>>> {
-        self.fabric().stats().record_collective(CollectiveKind::Reduce);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::Reduce);
         if self.rank() == root {
             let mut acc = value.to_vec();
             for src in 0..self.size() {
@@ -215,7 +225,9 @@ impl Communicator {
     /// All-reduce `f32` vectors element-wise with operator `op`; every rank
     /// receives the reduced vector.
     pub fn allreduce_f32(&self, value: &[f32], op: ReduceOp) -> Result<Vec<f32>> {
-        self.fabric().stats().record_collective(CollectiveKind::AllReduce);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::AllReduce);
         // Reduce to 0, then broadcast.
         if self.rank() == 0 {
             let mut acc = value.to_vec();
@@ -254,7 +266,9 @@ impl Communicator {
     /// and the returned vector holds the payload received from each rank.
     /// This is the MoE token-exchange pattern.
     pub fn alltoall(&self, sends: Vec<Payload>) -> Result<Vec<Payload>> {
-        self.fabric().stats().record_collective(CollectiveKind::AllToAll);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::AllToAll);
         if sends.len() != self.size() {
             return Err(RuntimeError::InvalidArgument(format!(
                 "alltoall expects {} send payloads, got {}",
@@ -271,9 +285,9 @@ impl Communicator {
                 self.send_internal(dst, TAG_ALLTOALL, payload)?;
             }
         }
-        for src in 0..self.size() {
+        for (src, slot) in received.iter_mut().enumerate() {
             if src != self.rank() {
-                received[src] = Some(self.recv_internal(src, TAG_ALLTOALL)?);
+                *slot = Some(self.recv_internal(src, TAG_ALLTOALL)?);
             }
         }
         Ok(received
@@ -284,7 +298,9 @@ impl Communicator {
 
     /// Barrier: returns only after every member rank has entered the barrier.
     pub fn barrier(&self) -> Result<()> {
-        self.fabric().stats().record_collective(CollectiveKind::Barrier);
+        self.fabric()
+            .stats()
+            .record_collective(CollectiveKind::Barrier);
         if self.rank() == 0 {
             for src in 1..self.size() {
                 let _ = self.recv_internal(src, TAG_BARRIER_UP)?;

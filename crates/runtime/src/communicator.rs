@@ -283,9 +283,7 @@ mod tests {
         let results = launch(2, |ctx| {
             let comm = ctx.world();
             if ctx.rank() == 0 {
-                let err = comm
-                    .send(1, SYSTEM_TAG_BASE, Payload::Empty)
-                    .unwrap_err();
+                let err = comm.send(1, SYSTEM_TAG_BASE, Payload::Empty).unwrap_err();
                 matches!(err, RuntimeError::InvalidArgument(_))
             } else {
                 let err = comm.recv(0, SYSTEM_TAG_BASE + 4).unwrap_err();
@@ -389,8 +387,8 @@ mod tests {
                 // time out (message was scoped to the sub-communicator)...
                 // use the sub communicator to actually receive it first so
                 // the test terminates quickly.
-                let v = sub.recv(0, 7).unwrap().into_u32().unwrap()[0];
-                v
+
+                sub.recv(0, 7).unwrap().into_u32().unwrap()[0]
             }
         })
         .unwrap();

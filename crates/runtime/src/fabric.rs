@@ -141,17 +141,12 @@ impl Endpoint {
     ///
     /// `src == None` matches any source (MPI_ANY_SOURCE).  The call blocks up
     /// to the fabric timeout and then fails with [`RuntimeError::Timeout`].
-    pub fn recv_match(
-        &mut self,
-        comm: u64,
-        src: Option<RankId>,
-        tag: Tag,
-    ) -> Result<Envelope> {
+    pub fn recv_match(&mut self, comm: u64, src: Option<RankId>, tag: Tag) -> Result<Envelope> {
         // First, look in the unexpected-message queue.
         if let Some(pos) = self
             .pending
             .iter()
-            .position(|e| e.comm == comm && e.tag == tag && src.map_or(true, |s| e.src == s))
+            .position(|e| e.comm == comm && e.tag == tag && src.is_none_or(|s| e.src == s))
         {
             return Ok(self.pending.remove(pos));
         }
@@ -170,7 +165,7 @@ impl Endpoint {
                 Ok(envelope) => {
                     let matches = envelope.comm == comm
                         && envelope.tag == tag
-                        && src.map_or(true, |s| envelope.src == s);
+                        && src.is_none_or(|s| envelope.src == s);
                     if matches {
                         return Ok(envelope);
                     }
@@ -291,6 +286,13 @@ mod tests {
         let rx = inboxes.remove(0);
         let mut ep = Endpoint::new(0, rx, fabric.recv_timeout());
         let err = ep.recv_match(0, Some(0), 3).unwrap_err();
-        assert!(matches!(err, RuntimeError::Timeout { rank: 0, tag: 3, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::Timeout {
+                rank: 0,
+                tag: 3,
+                ..
+            }
+        ));
     }
 }

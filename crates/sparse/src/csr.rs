@@ -140,10 +140,10 @@ impl CsrMatrix {
             .map(|(&c, &v)| (c as usize, v))
     }
 
-    /// Total bytes needed to store the matrix in CSR form: values (4 bytes)
-    /// + column indices (4 bytes) + row offsets (8 bytes each).  This is the
-    /// quantity DynMo's migration cost model charges when moving a pruned
-    /// layer between workers.
+    /// Total bytes needed to store the matrix in CSR form: 4-byte values,
+    /// 4-byte column indices, and 8-byte row offsets.  This is the quantity
+    /// DynMo's migration cost model charges when moving a pruned layer
+    /// between workers.
     pub fn storage_bytes(&self) -> u64 {
         (self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 8) as u64
     }

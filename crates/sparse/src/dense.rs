@@ -69,20 +69,18 @@ impl DenseMatrix {
         );
         let n = rhs.cols;
         let mut out = vec![0.0f32; self.rows * n];
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = self.row(i);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        });
         DenseMatrix::from_vec(self.rows, n, out)
     }
 

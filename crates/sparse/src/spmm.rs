@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn spmm_matches_dense_reference_on_random_matrices() {
-        for &(m, k, n, s) in &[(8usize, 6usize, 5usize, 0.3f64), (17, 23, 9, 0.45), (32, 32, 32, 0.4)] {
+        for &(m, k, n, s) in &[
+            (8usize, 6usize, 5usize, 0.3f64),
+            (17, 23, 9, 0.45),
+            (32, 32, 32, 0.4),
+        ] {
             let a_dense = random_dense(m, k, s, 42);
             let b = random_dense(k, n, 0.0, 7);
             let a_csr = CsrMatrix::from_dense(&a_dense);

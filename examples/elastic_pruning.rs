@@ -78,12 +78,27 @@ fn main() {
     let mut trainer = Trainer::new(model, config, controller);
     let report = trainer.run(&mut engine);
 
-    println!("  throughput:            {:>12.0} tokens/s", report.tokens_per_second);
-    println!("  throughput per GPU:    {:>12.0} tokens/s/GPU", report.tokens_per_second_per_gpu);
-    println!("  average GPUs in use:   {:>12.1} (started with 8)", report.average_active_workers);
-    println!("  GPUs in use at end:    {:>12}", report.final_active_workers);
+    println!(
+        "  throughput:            {:>12.0} tokens/s",
+        report.tokens_per_second
+    );
+    println!(
+        "  throughput per GPU:    {:>12.0} tokens/s/GPU",
+        report.tokens_per_second_per_gpu
+    );
+    println!(
+        "  average GPUs in use:   {:>12.1} (started with 8)",
+        report.average_active_workers
+    );
+    println!(
+        "  GPUs in use at end:    {:>12}",
+        report.final_active_workers
+    );
     println!("  rebalance events:      {:>12}", report.rebalance_events);
-    println!("  balancing overhead:    {:>11.2}%", report.overhead_fraction * 100.0);
+    println!(
+        "  balancing overhead:    {:>11.2}%",
+        report.overhead_fraction * 100.0
+    );
     println!("\n  GPU release history (iteration → GPUs allocated):");
     for event in trainer.job_manager().events() {
         println!(

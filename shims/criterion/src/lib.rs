@@ -1,0 +1,179 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros — with a simple warmup + timed-loop
+//! measurement instead of criterion's statistical machinery.  Output is one
+//! `name/id: median-ish mean time` line per benchmark, which keeps
+//! `cargo bench` runnable (and CI-smoke-testable) offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<N: fmt::Display, P: fmt::Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed iterations of a single benchmark.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then averaging over a fixed number
+    /// of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: find an iteration count that takes a
+        // perceptible amount of time, capped so slow benches stay quick.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+        }
+        self.mean = total / (self.samples as u32 * iters as u32).max(1);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        println!("{}/{}: {:?}", self.name, id, bencher.mean);
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        println!("{}/{}: {:?}", self.name, id, bencher.mean);
+        self
+    }
+
+    /// Finish the group (a no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        println!("{}: {:?}", name, bencher.mean);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,148 @@
+//! Minimal stand-in for `crossbeam`'s channel module, built on
+//! `std::sync::mpsc`.
+//!
+//! Crossbeam receivers are cloneable and shareable across threads; std's are
+//! not, so the shim wraps the receiver in `Arc<Mutex<..>>`.  The runtime
+//! fabric uses one receiver per rank with modest message rates, so the extra
+//! lock is irrelevant to the simulation results.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels with timeouts (the `crossbeam::channel` surface
+/// the workspace uses).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of an unbounded channel (cloneable, like
+    /// crossbeam's).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, failing only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Block up to `timeout` for the next message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Receive without blocking, if a message is already queued.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+                RecvTimeoutError::Timeout
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+                RecvTimeoutError::Disconnected
+            );
+        }
+
+        #[test]
+        fn receiver_is_cloneable_across_threads() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let handle = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(42u64).unwrap();
+            assert_eq!(handle.join().unwrap(), 42);
+        }
+    }
+}

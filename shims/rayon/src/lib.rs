@@ -1,0 +1,76 @@
+//! Minimal sequential stand-in for `rayon`.
+//!
+//! The `par_*` entry points the workspace uses are mapped onto their
+//! sequential `std` equivalents, which return ordinary iterators — all the
+//! adapters (`enumerate`, `for_each`, ...) keep working, the work just runs
+//! on one thread.  Swapping in real rayon restores parallelism with no
+//! source changes.
+
+#![warn(missing_docs)]
+
+/// Parallel-iterator traits (sequential here).
+pub mod prelude {
+    /// Slices that can be traversed by mutable chunks "in parallel".
+    pub trait ParallelSliceMut<T> {
+        /// Sequential equivalent of rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Slices that can be traversed by shared reference "in parallel".
+    pub trait ParallelSlice<T> {
+        /// Sequential equivalent of rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+
+        /// Sequential equivalent of rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Values convertible into a "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for rayon's parallel one.
+        type Iter: Iterator;
+
+        /// Sequential equivalent of rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_behaves_like_chunks_mut() {
+        let mut data = [0u32; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 1, 1, 2, 2]);
+    }
+}

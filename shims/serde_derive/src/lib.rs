@@ -1,0 +1,276 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementation
+//! for the vendored serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline build environment, so the item is parsed directly from the
+//! `proc_macro` token stream.  Supported shapes — which cover every derive in
+//! this workspace — are non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like.  `Serialize` produces the
+//! externally-tagged representation serde uses by default; `Deserialize`
+//! emits an empty marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    UnitStruct,
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Split the top-level tokens of a brace/paren group on commas, ignoring
+/// commas nested inside generic argument lists (`HashMap<String, u64>`).
+/// `->` is recognized so a return-type arrow never closes a bracket.
+fn split_on_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut prev_char = ' ';
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    prev_char = ',';
+                    continue;
+                }
+                '<' => angle_depth += 1,
+                '>' if prev_char != '-' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_char = p.as_char();
+        } else {
+            prev_char = ' ';
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Drop leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` is always followed by the bracketed attribute body.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
+    split_on_commas(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: id.to_string(),
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Vec<Variant> {
+    split_on_commas(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let fields = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Tuple(split_on_commas(&inner).len())
+                }
+                _ => VariantFields::Unit,
+            };
+            Some(Variant { name, fields })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    let (kind, rest) = match rest.first() {
+        Some(TokenTree::Ident(id)) => (id.to_string(), &rest[1..]),
+        _ => return None,
+    };
+    if kind != "struct" && kind != "enum" {
+        return None;
+    }
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    let rest = &rest[1..];
+    // Generic items are not supported by the shim; bail out so the error
+    // surfaces as a missing impl at the use site instead of bad codegen.
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return None;
+    }
+    let shape = if kind == "enum" {
+        let body = rest.iter().find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })?;
+        let body: Vec<TokenTree> = body.into_iter().collect();
+        Shape::Enum(parse_variants(&body))
+    } else {
+        match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_on_commas(&body).len())
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+    Some(Item { name, shape })
+}
+
+fn named_fields_to_map(fields: &[Field], accessor: &dyn Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{name}\"), ::serde::Serialize::to_value({access}))",
+                name = f.name,
+                access = accessor(&f.name),
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Derive the shim's `Serialize` trait (externally-tagged enum encoding).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Some(item) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => named_fields_to_map(fields, &|name| format!("&self.{name}")),
+        Shape::TupleStruct(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let ty = &item.name;
+                    let var = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{ty}::{var} => ::serde::Value::Str(::std::string::String::from(\"{var}\"))",
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let inner = named_fields_to_map(fields, &|name| name.to_string());
+                            format!(
+                                "{ty}::{var} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{var}\"), {inner})])",
+                                binds = binds.join(", "),
+                            )
+                        }
+                        VariantFields::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{ty}::{var}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{var}\"), {inner})])",
+                                binds = binds.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive shim produced invalid Rust")
+}
+
+/// Derive the shim's `Deserialize` marker trait (empty impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Some(item) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive shim produced invalid Rust")
+}

@@ -1,0 +1,185 @@
+//! Minimal stand-in for `serde_json`: renders the serde shim's `Value` tree
+//! as real JSON text.  Only the serialization entry points the workspace
+//! uses are provided.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the shim's rendering is infallible, but the type is
+/// kept so call sites match real serde_json).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            // JSON has no NaN/Infinity; mirror serde_json by refusing them
+            // softly (null) rather than emitting invalid text.
+            if n.is_finite() {
+                out.push_str(&n.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_as_json() {
+        let value = Value::Map(vec![
+            ("name".to_string(), Value::Str("dynmo".to_string())),
+            (
+                "speedups".to_string(),
+                Value::Seq(vec![Value::F64(1.5), Value::F64(2.25)]),
+            ),
+            ("gpus".to_string(), Value::U64(720)),
+        ]);
+        struct Wrapper(Value);
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Wrapper(value.clone())).unwrap();
+        assert_eq!(
+            compact,
+            "{\"name\":\"dynmo\",\"speedups\":[1.5,2.25],\"gpus\":720}"
+        );
+        let pretty = to_string_pretty(&Wrapper(value)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"dynmo\""));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn derive_handles_generic_field_types_and_enums() {
+        // Exercises the serde_derive shim's token parser: a field type with
+        // a top-level generic comma, unit/tuple/struct enum variants.
+        #[derive(serde::Serialize)]
+        struct Row {
+            counts: std::collections::BTreeMap<String, u64>,
+            tags: Vec<(String, f64)>,
+            kind: Kind,
+        }
+        #[derive(serde::Serialize)]
+        enum Kind {
+            Unit,
+            Pair(u32, u32),
+            Named { x: f64 },
+        }
+
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("a".to_string(), 1u64);
+        let row = Row {
+            counts,
+            tags: vec![("t".to_string(), 0.5)],
+            kind: Kind::Pair(3, 4),
+        };
+        assert_eq!(
+            to_string(&row).unwrap(),
+            "{\"counts\":{\"a\":1},\"tags\":[[\"t\",0.5]],\"kind\":{\"Pair\":[3,4]}}"
+        );
+        assert_eq!(to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(
+            to_string(&Kind::Named { x: 1.5 }).unwrap(),
+            "{\"Named\":{\"x\":1.5}}"
+        );
+    }
+}

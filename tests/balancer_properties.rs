@@ -117,15 +117,11 @@ proptest! {
         };
         let plan = plan_repack(&assignment, &loads, &inflight, &config);
 
-        // No layer lost or duplicated.
+        // No layer lost or duplicated, and every layer maps to a real stage.
         prop_assert_eq!(plan.new_assignment.num_layers(), loads.len());
-        let mut seen = vec![false; loads.len()];
         for layer in 0..loads.len() {
-            let stage = plan.new_assignment.stage_of(layer);
-            prop_assert!(stage < stages);
-            seen[layer] = true;
+            prop_assert!(plan.new_assignment.stage_of(layer) < stages);
         }
-        prop_assert!(seen.into_iter().all(|s| s));
 
         // Re-packing never pushes a worker over the budget *by merging*: a
         // worker may only exceed the budget if its original (pre-repack)
@@ -211,6 +207,89 @@ proptest! {
             if *now == 0.0 && *original != 0.0 {
                 prop_assert!(original.abs() <= kept_min + 1e-6);
             }
+        }
+    }
+
+    /// Partition conservation: whatever the objective, the per-stage layer
+    /// counts always sum to the model size and the assignment stays
+    /// contiguous.  Empty stages are allowed by design (idle workers that
+    /// re-packing later releases) but only ever as a trailing suffix.
+    #[test]
+    fn partition_conserves_layers_across_objectives(
+        times in arbitrary_times(),
+        stages in 2usize..12,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        for objective in [BalanceObjective::ByTime, BalanceObjective::ByParams] {
+            let request = BalanceRequest::new(&loads, stages, u64::MAX, objective);
+            let outcome = PartitionBalancer::new().rebalance(&request);
+            let counts = outcome.assignment.counts();
+            prop_assert_eq!(counts.iter().sum::<usize>(), loads.len());
+            prop_assert!(outcome.assignment.is_contiguous());
+            let first_empty = counts.iter().position(|&c| c == 0).unwrap_or(counts.len());
+            prop_assert!(
+                counts[first_empty..].iter().all(|&c| c == 0),
+                "non-trailing empty stage in {:?}", counts
+            );
+        }
+    }
+
+    /// Rebalancing moves work around but never creates or destroys it: the
+    /// stage weights of any balanced assignment sum to the per-layer total.
+    #[test]
+    fn balancers_conserve_total_stage_weight(
+        times in arbitrary_times(),
+        stages in 2usize..12,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let current = StageAssignment::uniform(loads.len(), stages);
+        let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current);
+        let expected: f64 = times.iter().sum();
+        for outcome in [
+            PartitionBalancer::new().rebalance(&request),
+            DiffusionBalancer::new().rebalance(&request),
+        ] {
+            let total: f64 = stage_weights(&outcome.assignment, &loads, BalanceObjective::ByTime)
+                .iter()
+                .sum();
+            prop_assert!(
+                (total - expected).abs() <= 1e-6 * expected.max(1.0),
+                "stage weights sum to {} but layers sum to {}", total, expected
+            );
+        }
+    }
+
+    /// Applying the diffusion balancer repeatedly is monotone: each round
+    /// starts from the previous assignment and the imbalance never
+    /// increases from one application to the next.
+    #[test]
+    fn diffusion_is_monotone_over_repeated_applications(
+        times in arbitrary_times(),
+        stages in 2usize..10,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let balancer = DiffusionBalancer::new();
+        let mut assignment = StageAssignment::uniform(loads.len(), stages);
+        let mut last = load_imbalance(&stage_weights(&assignment, &loads, BalanceObjective::ByTime));
+        for round in 0..4 {
+            let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime)
+                .with_current(&assignment);
+            let outcome = balancer.rebalance(&request);
+            let now = load_imbalance(&stage_weights(
+                &outcome.assignment,
+                &loads,
+                BalanceObjective::ByTime,
+            ));
+            prop_assert!(
+                now <= last + 1e-9,
+                "imbalance increased on application {}: {} -> {}", round, last, now
+            );
+            last = now;
+            assignment = outcome.assignment;
         }
     }
 }
