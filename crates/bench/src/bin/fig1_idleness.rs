@@ -23,8 +23,7 @@ struct IdlenessRow {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     println!("Figure 1: average GPU idleness (scale: {scale:?})\n");
 
     let mut rows: Vec<IdlenessRow> = Vec::new();

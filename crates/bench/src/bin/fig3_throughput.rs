@@ -28,7 +28,7 @@ struct ThroughputRow {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     let ablate_repack = args.iter().any(|a| a == "--ablate-repack");
     println!("Figure 3: end-to-end training throughput (scale: {scale:?})\n");
 

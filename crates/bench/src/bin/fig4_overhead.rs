@@ -4,7 +4,10 @@
 //! a percentage of training time, broken into profiling, the balancing
 //! algorithm, and layer migration, together with the rebalance frequency
 //! used.  This binary reproduces that table with the DynMo (Partition, by
-//! Time) configuration.
+//! Time) configuration, plus a fourth *recovery* column — the resilience
+//! subsystem's checkpoint-write cost, with periodic checkpointing enabled
+//! at a tenth of the run length — which the paper does not have (the paper
+//! assumes a reliable fleet).
 
 use dynmo_bench::{
     dump_json, run_configuration, BalancerKind, CaseConfig, DynamicCase, ExperimentScale, Table,
@@ -19,12 +22,12 @@ struct OverheadRow {
     profiling_percent: f64,
     algorithm_percent: f64,
     migration_percent: f64,
+    recovery_percent: f64,
     rebalance_events: u64,
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     println!("Figure 4 (right): load-balancing overhead breakdown (scale: {scale:?})\n");
 
     let layer_counts = match scale {
@@ -42,19 +45,22 @@ fn main() {
             "Profiling",
             "Algorithm",
             "Migration",
+            "Recovery",
             "Rebalances",
         ],
     );
 
+    let checkpoint_interval = (scale.iterations() / 10).max(1);
     for case in [DynamicCase::MoeMixtral, DynamicCase::MoeLlama] {
-        let config = CaseConfig::new(case, 32, scale);
+        let config = CaseConfig::new(case, 32, scale).with_checkpointing(checkpoint_interval);
         let result = run_configuration(&config, BalancerKind::PartitionByTime);
         add_row(&mut table, &mut rows, case, 32, &result.report);
     }
 
     for case in DynamicCase::GPT_CASES {
         for &layers in &layer_counts {
-            let config = CaseConfig::new(case, layers, scale);
+            let config =
+                CaseConfig::new(case, layers, scale).with_checkpointing(checkpoint_interval);
             let result = run_configuration(&config, BalancerKind::PartitionByTime);
             add_row(&mut table, &mut rows, case, layers, &result.report);
         }
@@ -82,6 +88,7 @@ fn add_row(
         format!("{:.2}%", overhead.profiling / total * 100.0),
         format!("{:.3}%", overhead.algorithm / total * 100.0),
         format!("{:.3}%", overhead.migration / total * 100.0),
+        format!("{:.3}%", overhead.recovery / total * 100.0),
         report.rebalance_events.to_string(),
     ]);
     rows.push(OverheadRow {
@@ -91,6 +98,7 @@ fn add_row(
         profiling_percent: overhead.profiling / total * 100.0,
         algorithm_percent: overhead.algorithm / total * 100.0,
         migration_percent: overhead.migration / total * 100.0,
+        recovery_percent: overhead.recovery / total * 100.0,
         rebalance_events: report.rebalance_events,
     });
 }

@@ -44,7 +44,7 @@ struct AvgGpuRow {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     let section = args
         .windows(2)
         .find(|w| w[0] == "--section")

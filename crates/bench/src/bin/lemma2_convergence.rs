@@ -43,8 +43,7 @@ fn synthetic_loads(layers: usize, seed: u64) -> Vec<LayerLoad> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     println!("Lemma 2: diffusion-balancer convergence (scale: {scale:?})\n");
 
     let worker_counts: Vec<usize> = match scale {

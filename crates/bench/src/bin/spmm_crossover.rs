@@ -55,8 +55,7 @@ fn time_us<F: FnMut()>(mut f: F, reps: usize) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = ExperimentScale::from_args(&args);
+    let scale = ExperimentScale::from_process_args();
     println!("SpMM crossover sweep (scale: {scale:?})\n");
 
     // Modeled GPU shape: a transformer FFN GEMM; CPU check shape is smaller

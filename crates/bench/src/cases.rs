@@ -187,6 +187,9 @@ pub struct CaseConfig {
     pub scale: ExperimentScale,
     /// Whether DynMo variants may re-pack onto fewer GPUs.
     pub repack: bool,
+    /// Periodic checkpointing interval for the trainer (None = disabled,
+    /// the paper-faithful default: the paper assumes a reliable fleet).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl CaseConfig {
@@ -197,7 +200,15 @@ impl CaseConfig {
             gpt_layers,
             scale,
             repack: false,
+            checkpoint_interval: None,
         }
+    }
+
+    /// Enable periodic trainer checkpointing (builder style); the write
+    /// cost lands in the overhead report's `recovery` bucket.
+    pub fn with_checkpointing(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
     }
 
     /// The cluster shape for this case at this scale.
@@ -312,6 +323,12 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
     let mut engine = build_engine(config.case, &model, config.scale, balancer, 1234);
     let mut trainer =
         Trainer::new(model, trainer_config, controller).with_initial_assignment(initial);
+    if let Some(interval) = config.checkpoint_interval {
+        trainer = trainer.with_checkpointing(
+            Box::new(dynmo_resilience::MemoryCheckpointStore::new()),
+            interval,
+        );
+    }
     let report = trainer.run(engine.as_mut());
 
     ConfigurationResult {

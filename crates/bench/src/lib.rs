@@ -11,6 +11,7 @@
 //! | `fig4_overhead` | Figure 4 (right) — load-balancing overhead breakdown |
 //! | `lemma2_convergence` | Lemma 2 — diffusion convergence rounds vs the Õ(N²) bound |
 //! | `spmm_crossover` | §4.2.2 — Sputnik vs cuBLAS vs cuSPARSE crossover |
+//! | `fault_tolerance` | Beyond the paper — recovery time vs checkpoint interval vs world size |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the

@@ -40,6 +40,14 @@ impl ExperimentScale {
         ExperimentScale::Default
     }
 
+    /// Read the scale straight from the process arguments (`--scale X` in
+    /// `std::env::args`) — the one shared entry point every figure binary
+    /// uses instead of collecting the arguments itself.
+    pub fn from_process_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
     /// Number of training iterations simulated per configuration.
     pub fn iterations(&self) -> u64 {
         match self {

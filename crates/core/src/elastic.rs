@@ -8,7 +8,47 @@
 //! the fleet, so the release/acquire protocol and its accounting are
 //! exercised end-to-end without a cluster.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Rejected fleet operations (double release/acquire, unknown workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetError {
+    /// A worker id outside the fleet.
+    UnknownWorker(usize),
+    /// Releasing a worker the job does not currently hold.
+    NotAllocated(usize),
+    /// Acquiring a worker the job already holds.
+    AlreadyAllocated(usize),
+    /// The same worker id appears twice in one request.
+    DuplicateWorker(usize),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownWorker(w) => write!(f, "worker {w} is not part of the fleet"),
+            FleetError::NotAllocated(w) => {
+                write!(
+                    f,
+                    "worker {w} is not allocated to the job (double release?)"
+                )
+            }
+            FleetError::AlreadyAllocated(w) => {
+                write!(
+                    f,
+                    "worker {w} is already allocated to the job (double acquire?)"
+                )
+            }
+            FleetError::DuplicateWorker(w) => {
+                write!(f, "worker {w} appears more than once in the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
 
 /// The interface DynMo uses to hand GPUs back to (and request them from)
 /// the cluster's job manager.
@@ -44,6 +84,8 @@ pub struct MockJobManager {
     allocated: Vec<bool>,
     events: Vec<FleetEvent>,
     current_iteration: u64,
+    rejected_releases: u64,
+    rejected_acquires: u64,
 }
 
 impl MockJobManager {
@@ -55,7 +97,78 @@ impl MockJobManager {
             allocated: vec![true; total_workers],
             events: Vec::new(),
             current_iteration: 0,
+            rejected_releases: 0,
+            rejected_acquires: 0,
         }
+    }
+
+    /// Release requests that were rejected (double release, unknown or
+    /// duplicate ids) instead of silently dropped.
+    pub fn rejected_releases(&self) -> u64 {
+        self.rejected_releases
+    }
+
+    /// Acquire requests that were rejected (double acquire, unknown or
+    /// duplicate ids).
+    pub fn rejected_acquires(&self) -> u64 {
+        self.rejected_acquires
+    }
+
+    /// Strict release: every id must be in-fleet, currently allocated, and
+    /// unique within the request, or the whole request is rejected and the
+    /// fleet is left untouched.
+    pub fn try_release(&mut self, workers: &[usize]) -> Result<(), FleetError> {
+        self.validate_request(workers, true)?;
+        let released = self.release(workers);
+        debug_assert_eq!(released, workers.len());
+        Ok(())
+    }
+
+    /// Strict by-id acquire (the elastic *grow* path re-acquiring the exact
+    /// workers it released): every id must be in-fleet, currently free, and
+    /// unique within the request, or the whole request is rejected.
+    pub fn try_acquire(&mut self, workers: &[usize]) -> Result<(), FleetError> {
+        self.validate_request(workers, false)?;
+        for &w in workers {
+            self.allocated[w] = true;
+        }
+        if !workers.is_empty() {
+            self.events.push(FleetEvent {
+                iteration: self.current_iteration,
+                delta: -(workers.len() as i64),
+                allocated_after: self.allocated(),
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_request(&mut self, workers: &[usize], releasing: bool) -> Result<(), FleetError> {
+        let reject = |counter: &mut u64, error: FleetError| {
+            *counter += 1;
+            Err(error)
+        };
+        let counter = if releasing {
+            &mut self.rejected_releases
+        } else {
+            &mut self.rejected_acquires
+        };
+        let mut seen = vec![false; self.total_workers];
+        for &w in workers {
+            if w >= self.total_workers {
+                return reject(counter, FleetError::UnknownWorker(w));
+            }
+            if seen[w] {
+                return reject(counter, FleetError::DuplicateWorker(w));
+            }
+            seen[w] = true;
+            if releasing && !self.allocated[w] {
+                return reject(counter, FleetError::NotAllocated(w));
+            }
+            if !releasing && self.allocated[w] {
+                return reject(counter, FleetError::AlreadyAllocated(w));
+            }
+        }
+        Ok(())
     }
 
     /// Inform the manager of the current training iteration (for event
@@ -98,6 +211,10 @@ impl JobManager for MockJobManager {
             if w < self.total_workers && self.allocated[w] {
                 self.allocated[w] = false;
                 released += 1;
+            } else {
+                // Double release (or unknown id): rejected, not double
+                // counted — and surfaced in the rejection counter.
+                self.rejected_releases += 1;
             }
         }
         if released > 0 {
@@ -196,5 +313,100 @@ mod tests {
         let manager = MockJobManager::new(16);
         assert_eq!(manager.average_allocated(10_000), 16.0);
         assert_eq!(manager.average_allocated(0), 16.0);
+    }
+
+    #[test]
+    fn double_release_and_double_acquire_are_rejected() {
+        let mut manager = MockJobManager::new(4);
+        manager.try_release(&[2, 3]).unwrap();
+        // Strict double release fails and leaves the fleet untouched.
+        assert_eq!(
+            manager.try_release(&[3]).unwrap_err(),
+            FleetError::NotAllocated(3)
+        );
+        assert_eq!(manager.allocated(), 2);
+        // Strict double acquire of a held worker fails.
+        assert_eq!(
+            manager.try_acquire(&[0]).unwrap_err(),
+            FleetError::AlreadyAllocated(0)
+        );
+        // Re-acquiring the released workers by id succeeds exactly once.
+        manager.try_acquire(&[2, 3]).unwrap();
+        assert_eq!(manager.allocated(), 4);
+        assert_eq!(
+            manager.try_acquire(&[2]).unwrap_err(),
+            FleetError::AlreadyAllocated(2)
+        );
+        assert_eq!(manager.rejected_releases(), 1);
+        assert_eq!(manager.rejected_acquires(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_are_rejected_atomically() {
+        let mut manager = MockJobManager::new(4);
+        assert_eq!(
+            manager.try_release(&[1, 1]).unwrap_err(),
+            FleetError::DuplicateWorker(1)
+        );
+        assert_eq!(
+            manager.try_release(&[99]).unwrap_err(),
+            FleetError::UnknownWorker(99)
+        );
+        // A rejected request changed nothing and logged no event.
+        assert_eq!(manager.allocated(), 4);
+        assert!(manager.events().is_empty());
+        // The lenient trait-level release also counts its rejects.
+        assert_eq!(manager.release(&[0, 0, 42]), 1);
+        assert_eq!(manager.rejected_releases(), 2 + 2);
+    }
+
+    #[test]
+    fn fleet_event_deltas_always_sum_to_the_allocation_changes() {
+        // Drive a pseudo-random mix of lenient and strict operations and
+        // check after every step that the event ledger reconciles exactly
+        // with the live allocation count.
+        let total = 9usize;
+        let mut manager = MockJobManager::new(total);
+        let mut rng_state: u64 = 0x00dd_b0b1_5bad_5eed;
+        let mut rng = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for step in 0..500u64 {
+            manager.set_iteration(step);
+            let worker = (rng() % total as u64) as usize;
+            match rng() % 4 {
+                0 => {
+                    manager.release(&[worker, (worker + 1) % total]);
+                }
+                1 => {
+                    manager.acquire((rng() % 3) as usize);
+                }
+                2 => {
+                    let _ = manager.try_release(&[worker]);
+                }
+                _ => {
+                    let _ = manager.try_acquire(&[worker]);
+                }
+            }
+            let delta_sum: i64 = manager.events().iter().map(|e| e.delta).sum();
+            assert_eq!(
+                manager.allocated() as i64,
+                total as i64 - delta_sum,
+                "ledger out of sync at step {step}"
+            );
+            if let Some(event) = manager.events().last() {
+                assert!(event.allocated_after <= total);
+            }
+        }
+        // Every event's running `allocated_after` is consistent with the
+        // cumulative deltas up to that point.
+        let mut running = total as i64;
+        for event in manager.events() {
+            running -= event.delta;
+            assert_eq!(event.allocated_after as i64, running);
+        }
     }
 }

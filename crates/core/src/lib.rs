@@ -23,6 +23,12 @@
 //!    [`controller`] decides when to rebalance and accounts for the
 //!    overhead breakdown reported in the paper's Figure 4 (profiling /
 //!    balancing algorithm / layer migration).
+//! 6. **Failures are survived** ([`recovery`], beyond the paper): trainer
+//!    state is checkpointed into a `dynmo-resilience` store, rank deaths
+//!    injected by the runtime's `FaultPlan` are detected fabric-wide, the
+//!    world is re-formed over the survivors, the balancer re-runs for the
+//!    new world size, and training replays from the last checkpoint — with
+//!    the cost charged to the overhead report's `recovery` bucket.
 
 #![warn(missing_docs)]
 
@@ -33,17 +39,23 @@ pub mod imbalance;
 pub mod migration;
 pub mod overhead;
 pub mod profiler;
+pub mod recovery;
 pub mod repack;
 pub mod report;
 pub mod trainer;
 
 pub use balancer::{BalanceObjective, DiffusionBalancer, LoadBalancer, PartitionBalancer};
 pub use controller::{RebalanceController, RebalancePolicy};
-pub use elastic::{JobManager, MockJobManager};
+pub use elastic::{FleetError, JobManager, MockJobManager};
 pub use imbalance::load_imbalance;
 pub use migration::{MigrationPlan, MigrationStep};
 pub use overhead::OverheadBreakdown;
 pub use profiler::{profile_layers, Profiler};
+pub use recovery::{
+    run_elastic_rescale, run_resilient, ElasticRescaleConfig, ElasticRescaleReport, RecoveryConfig,
+    RecoveryCoordinator, RecoveryEvent, ResilientRunReport, ResilientTrainingConfig,
+    WorkloadConfig,
+};
 pub use repack::{plan_repack, RepackConfig, RepackPlan};
 pub use report::TrainingReport;
 pub use trainer::{Trainer, TrainerConfig};

@@ -3,7 +3,10 @@
 //! The paper breaks DynMo's overhead into three components — profiling, the
 //! balancing algorithm itself, and the migration of layers between GPUs —
 //! and reports them as a percentage of end-to-end training time per case.
-//! [`OverheadBreakdown`] accumulates exactly those three buckets.
+//! [`OverheadBreakdown`] accumulates those three buckets, plus a fourth
+//! *recovery* bucket introduced by the resilience subsystem: checkpoint
+//! writes, checkpoint restores, communicator rebuilds, and replayed
+//! iterations after a failure or an elastic re-scale.
 
 use serde::{Deserialize, Serialize};
 
@@ -16,8 +19,13 @@ pub struct OverheadBreakdown {
     pub algorithm: f64,
     /// Time spent migrating layer state between workers.
     pub migration: f64,
+    /// Time spent on resilience: checkpoint writes/restores, communicator
+    /// rebuilds, and replayed iterations after failures.
+    pub recovery: f64,
     /// Number of rebalance events that contributed to the totals.
     pub rebalance_events: u64,
+    /// Number of recovery/checkpoint events that contributed to `recovery`.
+    pub recovery_events: u64,
 }
 
 impl OverheadBreakdown {
@@ -34,9 +42,16 @@ impl OverheadBreakdown {
         self.rebalance_events += 1;
     }
 
+    /// Record one resilience event's cost (a checkpoint write, a restore +
+    /// replay, or a communicator rebuild).
+    pub fn record_recovery(&mut self, seconds: f64) {
+        self.recovery += seconds;
+        self.recovery_events += 1;
+    }
+
     /// Total overhead in seconds.
     pub fn total(&self) -> f64 {
-        self.profiling + self.algorithm + self.migration
+        self.profiling + self.algorithm + self.migration + self.recovery
     }
 
     /// Overhead as a fraction of `training_time` (0 when training time is
@@ -53,7 +68,9 @@ impl OverheadBreakdown {
         self.profiling += other.profiling;
         self.algorithm += other.algorithm;
         self.migration += other.migration;
+        self.recovery += other.recovery;
         self.rebalance_events += other.rebalance_events;
+        self.recovery_events += other.recovery_events;
     }
 }
 
@@ -88,8 +105,24 @@ mod tests {
         a.record(1.0, 2.0, 3.0);
         let mut b = OverheadBreakdown::new();
         b.record(0.5, 0.5, 0.5);
+        b.record_recovery(1.5);
         a.merge(&b);
-        assert_eq!(a.total(), 7.5);
+        assert_eq!(a.total(), 9.0);
         assert_eq!(a.rebalance_events, 2);
+        assert_eq!(a.recovery_events, 1);
+    }
+
+    #[test]
+    fn recovery_bucket_feeds_the_total_and_fraction() {
+        let mut o = OverheadBreakdown::new();
+        o.record_recovery(2.0);
+        o.record_recovery(1.0);
+        assert_eq!(o.recovery, 3.0);
+        assert_eq!(o.recovery_events, 2);
+        assert_eq!(o.total(), 3.0);
+        assert!((o.fraction_of(300.0) - 0.01).abs() < 1e-12);
+        // Rebalance buckets are untouched.
+        assert_eq!(o.rebalance_events, 0);
+        assert_eq!(o.profiling, 0.0);
     }
 }

@@ -17,6 +17,10 @@ use dynmo_pipeline::{
 };
 use serde::{Deserialize, Serialize};
 
+use dynmo_resilience::{
+    Checkpoint, CheckpointCostModel, CheckpointStore, LayerState, TrainerState,
+};
+
 use crate::balancer::{stage_weights, BalanceObjective};
 use crate::controller::RebalanceController;
 use crate::elastic::{JobManager, MockJobManager};
@@ -77,6 +81,19 @@ impl TrainerConfig {
     }
 }
 
+/// Periodic checkpointing configuration for the simulated trainer.
+struct Checkpointing {
+    store: Box<dyn CheckpointStore + Send>,
+    interval: u64,
+    cost_model: CheckpointCostModel,
+    keep: usize,
+}
+
+/// How many checkpoints the trainer retains by default — enough history to
+/// roll back past a bad rebalance, bounded so a paper-scale run does not
+/// accumulate hundreds of snapshots.
+const DEFAULT_KEPT_CHECKPOINTS: usize = 8;
+
 /// The end-to-end training loop.
 pub struct Trainer {
     config: TrainerConfig,
@@ -85,6 +102,7 @@ pub struct Trainer {
     controller: RebalanceController,
     job_manager: MockJobManager,
     initial_assignment: Option<StageAssignment>,
+    checkpointing: Option<Checkpointing>,
 }
 
 impl Trainer {
@@ -101,7 +119,35 @@ impl Trainer {
             controller,
             job_manager,
             initial_assignment: None,
+            checkpointing: None,
         }
+    }
+
+    /// Enable periodic checkpointing: every `interval` iterations the
+    /// trainer snapshots its restorable state (assignment, active workers,
+    /// per-layer retention, key metrics) into `store`, and the simulated
+    /// write cost is charged to the overhead report's `recovery` bucket —
+    /// the fault-tolerance line item next to the paper's
+    /// profiling/algorithm/migration buckets.
+    pub fn with_checkpointing(
+        mut self,
+        store: Box<dyn CheckpointStore + Send>,
+        interval: u64,
+    ) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.checkpointing = Some(Checkpointing {
+            store,
+            interval,
+            cost_model: CheckpointCostModel::default(),
+            keep: DEFAULT_KEPT_CHECKPOINTS,
+        });
+        self
+    }
+
+    /// The checkpoint store, when checkpointing is enabled (for inspecting
+    /// what a recovery would restore from).
+    pub fn checkpoint_store(&self) -> Option<&(dyn CheckpointStore + Send)> {
+        self.checkpointing.as_ref().map(|c| &*c.store)
     }
 
     /// Override the initial layer→stage assignment (static baselines such as
@@ -242,6 +288,57 @@ impl Trainer {
             last_imbalance = cached_imbalance;
             if iteration % 100 == 0 {
                 imbalance_history.record(iteration, cached_imbalance);
+            }
+
+            // Periodic checkpoint: snapshot the restorable state and charge
+            // the simulated write into the recovery overhead bucket.
+            if let Some(checkpointing) = &mut self.checkpointing {
+                if (iteration + 1).is_multiple_of(checkpointing.interval) {
+                    let layers: Vec<LayerState> = loads
+                        .iter()
+                        .map(|load| LayerState {
+                            layer_id: load.layer_id,
+                            weights: vec![load.param_count as f32],
+                            optimizer: vec![0.0],
+                            pruning_mask: vec![true],
+                            frozen: load.bwd_time == 0.0,
+                            rng_state: 0,
+                        })
+                        .collect();
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("imbalance".to_string(), cached_imbalance);
+                    metrics.insert("total_time".to_string(), total_time);
+                    metrics.insert("total_tokens".to_string(), total_tokens as f64);
+                    let state = TrainerState {
+                        iteration: iteration + 1,
+                        world_size: active_workers,
+                        assignment: assignment.clone(),
+                        layers,
+                        metrics,
+                    };
+                    match Checkpoint::new(state) {
+                        Ok(checkpoint) => {
+                            let cost = checkpointing
+                                .cost_model
+                                .write_cost(checkpoint.state.size_bytes());
+                            match checkpointing.store.save(&checkpoint) {
+                                Ok(()) => {
+                                    checkpointing.store.retain_last(checkpointing.keep);
+                                    overhead.record_recovery(cost);
+                                    total_time += cost;
+                                }
+                                Err(err) => eprintln!(
+                                    "warning: checkpoint at iteration {} not saved: {err}",
+                                    iteration + 1
+                                ),
+                            }
+                        }
+                        Err(err) => eprintln!(
+                            "warning: checkpoint at iteration {} not taken: {err}",
+                            iteration + 1
+                        ),
+                    }
+                }
             }
         }
 
@@ -429,6 +526,31 @@ mod tests {
         assert!(!trainer.job_manager().events().is_empty());
         // Throughput per GPU must not collapse when consolidating.
         assert!(report.tokens_per_second_per_gpu > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_snapshots_state_and_charges_recovery_overhead() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut trainer = Trainer::new(model.clone(), config(4, 60), dynamic_controller())
+            .with_checkpointing(Box::new(dynmo_resilience::MemoryCheckpointStore::new()), 20);
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        let report = trainer.run(&mut engine);
+        assert!(report.overhead.recovery > 0.0);
+        assert_eq!(report.overhead.recovery_events, 3);
+        let store = trainer.checkpoint_store().unwrap();
+        assert_eq!(store.iterations(), vec![20, 40, 60]);
+        let latest = store.latest().unwrap().unwrap();
+        assert_eq!(latest.iteration(), 60);
+        let state = latest.verify().unwrap();
+        // 24 transformer blocks plus the embedding and head layers.
+        assert_eq!(state.layers.len(), 26);
+        assert!(state.metrics.contains_key("imbalance"));
+        // Without checkpointing the recovery bucket stays empty.
+        let mut plain = Trainer::new(model.clone(), config(4, 60), dynamic_controller());
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        let plain_report = plain.run(&mut engine);
+        assert_eq!(plain_report.overhead.recovery, 0.0);
+        assert!(plain.checkpoint_store().is_none());
     }
 
     #[test]

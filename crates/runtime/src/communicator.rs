@@ -135,17 +135,20 @@ impl Communicator {
 
     pub(crate) fn recv_internal(&self, src: usize, tag: Tag) -> Result<Payload> {
         let src_global = self.global_rank(src)?;
-        let envelope = self
-            .endpoint
-            .lock()
-            .recv_match(self.id, Some(src_global), tag)?;
+        let envelope =
+            self.endpoint
+                .lock()
+                .recv_match(self.id, &self.members, Some(src_global), tag)?;
         Ok(envelope.payload)
     }
 
     /// Receive a message with `tag` from any member rank, returning the
     /// sender's local rank alongside the payload.
     pub fn recv_any(&self, tag: Tag) -> Result<(usize, Payload)> {
-        let envelope = self.endpoint.lock().recv_match(self.id, None, tag)?;
+        let envelope = self
+            .endpoint
+            .lock()
+            .recv_match(self.id, &self.members, None, tag)?;
         let local = self
             .members
             .iter()
@@ -214,6 +217,65 @@ impl Communicator {
         self.split(color, key)
     }
 
+    /// Global ranks of the members that have *not* been marked failed, in
+    /// local-rank order.
+    pub fn surviving_members(&self) -> Vec<RankId> {
+        let detector = self.fabric.detector();
+        self.members
+            .iter()
+            .copied()
+            .filter(|&g| !detector.is_failed(g))
+            .collect()
+    }
+
+    /// Whether any member of this communicator has been marked failed (in
+    /// which case collectives on it are poisoned and it must be rebuilt).
+    pub fn has_failed_member(&self) -> bool {
+        self.fabric
+            .detector()
+            .first_failed_of(&self.members)
+            .is_some()
+    }
+
+    /// Re-form the communicator over the surviving members after a failure —
+    /// the fault-tolerant sibling of [`Communicator::split_subset`]
+    /// (`ncclCommShrink` semantics).
+    ///
+    /// A collective split is impossible once a member is dead (it cannot
+    /// participate), so the new communicator is derived *without
+    /// communication*: every survivor reads the same failed set from the
+    /// fabric's failure detector and computes the same member list and
+    /// communicator id.  Returns `None` when the calling rank is itself
+    /// marked failed; returns a clone of `self` when no member has failed.
+    pub fn rebuild_survivors(&self) -> Result<Option<Communicator>> {
+        let survivors = self.surviving_members();
+        if survivors.len() == self.members.len() {
+            return Ok(Some(self.clone()));
+        }
+        // A calling rank that is itself marked failed is not a survivor
+        // (and an alive caller guarantees the survivor set is non-empty).
+        let me = self.my_global_rank();
+        let Some(local_rank) = survivors.iter().position(|&g| g == me) else {
+            return Ok(None);
+        };
+        // Mix the survivor set into the id so successive failures (and
+        // rebuilds) of the same parent never reuse a communicator id.
+        let mut set_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &g in &survivors {
+            set_hash ^= g as u64;
+            set_hash = set_hash.wrapping_mul(0x100_0000_01b3);
+        }
+        let id = derive_comm_id(self.id, set_hash, survivors.len() as u64);
+        Ok(Some(Communicator {
+            fabric: Arc::clone(&self.fabric),
+            endpoint: Arc::clone(&self.endpoint),
+            id,
+            members: Arc::new(survivors),
+            local_rank,
+            split_seq: Arc::new(AtomicU64::new(0)),
+        }))
+    }
+
     /// Internal allgather of a fixed-size `u64` vector, used by `split` and
     /// the collectives module.  Uses the system tag space.
     pub(crate) fn allgather_u64_internal(&self, value: &[u64]) -> Result<Vec<Vec<u64>>> {
@@ -225,7 +287,10 @@ impl Communicator {
             let mut all = vec![Vec::new(); n];
             all[0] = value.to_vec();
             for _ in 1..n {
-                let envelope = self.endpoint.lock().recv_match(self.id, None, tag)?;
+                let envelope =
+                    self.endpoint
+                        .lock()
+                        .recv_match(self.id, &self.members, None, tag)?;
                 let src_local = self
                     .members
                     .iter()
@@ -393,6 +458,80 @@ mod tests {
         })
         .unwrap();
         assert_eq!(results[1], 77);
+    }
+
+    #[test]
+    fn send_touching_a_failed_rank_errors() {
+        let results = launch(3, |ctx| {
+            let comm = ctx.world();
+            comm.barrier().unwrap();
+            if ctx.rank() == 0 {
+                ctx.fabric().detector().mark_failed(2);
+                let err = comm.send(2, 4, Payload::Empty).unwrap_err();
+                matches!(err, RuntimeError::RankFailed { rank: 2 })
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn collectives_on_a_poisoned_communicator_fail_then_survivors_rebuild() {
+        let results = launch(3, |ctx| {
+            let comm = ctx.world();
+            if ctx.rank() == 2 {
+                // Simulated crash: mark failed and stop participating.
+                ctx.fabric().detector().mark_failed(2);
+                return None;
+            }
+            // The world collective can never complete once rank 2 is dead;
+            // both survivors must see RankFailed promptly (not a timeout).
+            let err = comm.allreduce_sum_f32(&[1.0]).unwrap_err();
+            assert_eq!(err, RuntimeError::RankFailed { rank: 2 });
+            assert!(comm.has_failed_member());
+            assert_eq!(comm.surviving_members(), vec![0, 1]);
+            // Rebuild over the survivors and finish the collective there.
+            let rebuilt = comm.rebuild_survivors().unwrap().unwrap();
+            assert_eq!(rebuilt.size(), 2);
+            let sum = rebuilt.allreduce_sum_f32(&[1.0]).unwrap();
+            Some((rebuilt.rank(), sum[0] as usize))
+        })
+        .unwrap();
+        assert_eq!(results[0], Some((0, 2)));
+        assert_eq!(results[1], Some((1, 2)));
+        assert_eq!(results[2], None);
+    }
+
+    #[test]
+    fn rebuild_without_failures_is_an_identity() {
+        let results = launch(2, |ctx| {
+            let comm = ctx.world();
+            let rebuilt = comm.rebuild_survivors().unwrap().unwrap();
+            (rebuilt.id() == comm.id(), rebuilt.size())
+        })
+        .unwrap();
+        assert_eq!(results, vec![(true, 2), (true, 2)]);
+    }
+
+    #[test]
+    fn rebuild_on_the_failed_rank_returns_none() {
+        let results = launch(2, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.fabric().detector().mark_failed(1);
+                ctx.world().rebuild_survivors().unwrap().is_none()
+            } else {
+                // Wait for the mark so the rebuild below observes it.
+                while !ctx.fabric().detector().is_failed(1) {
+                    std::thread::yield_now();
+                }
+                let rebuilt = ctx.world().rebuild_survivors().unwrap().unwrap();
+                rebuilt.size() == 1 && rebuilt.rank() == 0
+            }
+        })
+        .unwrap();
+        assert!(results.into_iter().all(|ok| ok));
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum RuntimeError {
         /// The global rank of the panicked worker.
         rank: usize,
     },
+    /// A rank has failed (killed by fault injection or crashed).  Raised on
+    /// the failed rank itself, on sends touching it, and on any receive
+    /// posted on a communicator containing it — mirroring NCCL's
+    /// `ncclRemoteError` after a peer aborts.
+    RankFailed {
+        /// The global rank that failed.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -60,6 +68,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::PayloadMismatch(msg) => write!(f, "payload mismatch: {msg}"),
             RuntimeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             RuntimeError::WorkerPanicked { rank } => write!(f, "worker rank {rank} panicked"),
+            RuntimeError::RankFailed { rank } => write!(f, "rank {rank} has failed"),
         }
     }
 }
@@ -82,6 +91,7 @@ mod tests {
                 RuntimeError::Disconnected { rank: 2 },
                 "rank 2 endpoint is disconnected",
             ),
+            (RuntimeError::RankFailed { rank: 4 }, "rank 4 has failed"),
             (
                 RuntimeError::PayloadMismatch("want f32".into()),
                 "payload mismatch: want f32",

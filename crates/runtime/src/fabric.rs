@@ -12,6 +12,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::error::{Result, RuntimeError};
+use crate::fault::FailureDetector;
 use crate::payload::Payload;
 use crate::stats::FabricStats;
 use crate::{RankId, Tag};
@@ -38,12 +39,17 @@ pub struct Fabric {
     senders: Vec<Sender<Envelope>>,
     stats: FabricStats,
     recv_timeout: Duration,
+    detector: FailureDetector,
 }
 
 impl Fabric {
     /// Default receive timeout: generous enough for heavily loaded CI
     /// machines, small enough that a deadlocked test fails quickly.
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// How often a blocked receive re-checks the failure detector, so a
+    /// peer's death surfaces promptly instead of after the full timeout.
+    pub(crate) const FAILURE_POLL: Duration = Duration::from_millis(5);
 
     /// Create a fabric for `world_size` ranks.  Returns the shared fabric and
     /// one receiver (inbox) per rank, in rank order.
@@ -68,6 +74,7 @@ impl Fabric {
                 senders,
                 stats: FabricStats::new(),
                 recv_timeout,
+                detector: FailureDetector::new(),
             }),
             receivers,
         )
@@ -88,13 +95,25 @@ impl Fabric {
         &self.stats
     }
 
-    /// Route an envelope to its destination rank's inbox.
+    /// The fabric's failure detector (shared by every endpoint).
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Route an envelope to its destination rank's inbox.  Fails with
+    /// [`RuntimeError::RankFailed`] when either end of the transfer is dead.
     pub fn route(&self, envelope: Envelope) -> Result<()> {
         let dst = envelope.dst;
         let sender = self
             .senders
             .get(dst)
             .ok_or(RuntimeError::UnknownRank(dst))?;
+        if self.detector.is_failed(envelope.src) {
+            return Err(RuntimeError::RankFailed { rank: envelope.src });
+        }
+        if self.detector.is_failed(dst) {
+            return Err(RuntimeError::RankFailed { rank: dst });
+        }
         self.stats.record_p2p(envelope.payload.size_bytes());
         sender
             .send(envelope)
@@ -114,16 +133,24 @@ pub struct Endpoint {
     inbox: Receiver<Envelope>,
     pending: Vec<Envelope>,
     timeout: Duration,
+    detector: FailureDetector,
 }
 
 impl Endpoint {
-    /// Build the endpoint for `rank` from its fabric inbox.
-    pub fn new(rank: RankId, inbox: Receiver<Envelope>, timeout: Duration) -> Self {
+    /// Build the endpoint for `rank` from its fabric inbox and the fabric's
+    /// shared failure detector.
+    pub fn new(
+        rank: RankId,
+        inbox: Receiver<Envelope>,
+        timeout: Duration,
+        detector: FailureDetector,
+    ) -> Self {
         Endpoint {
             rank,
             inbox,
             pending: Vec::new(),
             timeout,
+            detector,
         }
     }
 
@@ -141,7 +168,19 @@ impl Endpoint {
     ///
     /// `src == None` matches any source (MPI_ANY_SOURCE).  The call blocks up
     /// to the fabric timeout and then fails with [`RuntimeError::Timeout`].
-    pub fn recv_match(&mut self, comm: u64, src: Option<RankId>, tag: Tag) -> Result<Envelope> {
+    ///
+    /// `members` is the membership of the communicator the receive is posted
+    /// on: if any member is (or becomes) marked failed while the receive is
+    /// blocked, the call fails promptly with [`RuntimeError::RankFailed`] —
+    /// a collective on that communicator can never complete, and poisoning
+    /// every pending operation is how the failure reaches all survivors.
+    pub fn recv_match(
+        &mut self,
+        comm: u64,
+        members: &[RankId],
+        src: Option<RankId>,
+        tag: Tag,
+    ) -> Result<Envelope> {
         // First, look in the unexpected-message queue.
         if let Some(pos) = self
             .pending
@@ -150,9 +189,14 @@ impl Endpoint {
         {
             return Ok(self.pending.remove(pos));
         }
-        // Then drain the inbox until a match arrives or we time out.
+        // Then drain the inbox until a match arrives, a member dies, or we
+        // time out.  The wait is sliced so the failure detector is observed
+        // within FAILURE_POLL even while blocked.
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
+            if let Some(failed) = self.detector.first_failed_of(members) {
+                return Err(RuntimeError::RankFailed { rank: failed });
+            }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 return Err(RuntimeError::Timeout {
@@ -161,7 +205,8 @@ impl Endpoint {
                     tag,
                 });
             }
-            match self.inbox.recv_timeout(remaining) {
+            let slice = remaining.min(Fabric::FAILURE_POLL);
+            match self.inbox.recv_timeout(slice) {
                 Ok(envelope) => {
                     let matches = envelope.comm == comm
                         && envelope.tag == tag
@@ -172,11 +217,8 @@ impl Endpoint {
                     self.pending.push(envelope);
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    return Err(RuntimeError::Timeout {
-                        rank: self.rank,
-                        src,
-                        tag,
-                    });
+                    // Just a poll slice elapsing; loop to re-check the
+                    // detector and the overall deadline.
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                     return Err(RuntimeError::Disconnected { rank: self.rank });
@@ -230,7 +272,7 @@ mod tests {
     fn endpoint_matches_by_tag_and_parks_unexpected() {
         let (fabric, mut inboxes) = Fabric::with_timeout(2, Duration::from_millis(200));
         let rx = inboxes.remove(1);
-        let mut ep = Endpoint::new(1, rx, fabric.recv_timeout());
+        let mut ep = Endpoint::new(1, rx, fabric.recv_timeout(), fabric.detector().clone());
 
         // Send two messages with different tags; receive the second first.
         fabric
@@ -240,11 +282,11 @@ mod tests {
             .route(envelope(0, 1, 0, 2, Payload::U32(vec![22])))
             .unwrap();
 
-        let second = ep.recv_match(0, Some(0), 2).unwrap();
+        let second = ep.recv_match(0, &[0, 1], Some(0), 2).unwrap();
         assert_eq!(second.payload, Payload::U32(vec![22]));
         assert_eq!(ep.pending_len(), 1);
 
-        let first = ep.recv_match(0, Some(0), 1).unwrap();
+        let first = ep.recv_match(0, &[0, 1], Some(0), 1).unwrap();
         assert_eq!(first.payload, Payload::U32(vec![11]));
         assert_eq!(ep.pending_len(), 0);
     }
@@ -253,7 +295,7 @@ mod tests {
     fn endpoint_filters_by_communicator() {
         let (fabric, mut inboxes) = Fabric::with_timeout(2, Duration::from_millis(200));
         let rx = inboxes.remove(1);
-        let mut ep = Endpoint::new(1, rx, fabric.recv_timeout());
+        let mut ep = Endpoint::new(1, rx, fabric.recv_timeout(), fabric.detector().clone());
 
         fabric
             .route(envelope(0, 1, 99, 5, Payload::U32(vec![1])))
@@ -262,7 +304,7 @@ mod tests {
             .route(envelope(0, 1, 7, 5, Payload::U32(vec![2])))
             .unwrap();
 
-        let got = ep.recv_match(7, Some(0), 5).unwrap();
+        let got = ep.recv_match(7, &[0, 1], Some(0), 5).unwrap();
         assert_eq!(got.payload, Payload::U32(vec![2]));
         // Message on communicator 99 is parked, not dropped.
         assert_eq!(ep.pending_len(), 1);
@@ -272,11 +314,11 @@ mod tests {
     fn endpoint_any_source_matches_first_arrival() {
         let (fabric, mut inboxes) = Fabric::with_timeout(3, Duration::from_millis(200));
         let rx = inboxes.remove(2);
-        let mut ep = Endpoint::new(2, rx, fabric.recv_timeout());
+        let mut ep = Endpoint::new(2, rx, fabric.recv_timeout(), fabric.detector().clone());
         fabric
             .route(envelope(1, 2, 0, 4, Payload::U64(vec![10])))
             .unwrap();
-        let got = ep.recv_match(0, None, 4).unwrap();
+        let got = ep.recv_match(0, &[0, 1, 2], None, 4).unwrap();
         assert_eq!(got.src, 1);
     }
 
@@ -284,8 +326,8 @@ mod tests {
     fn recv_times_out_when_no_message_arrives() {
         let (fabric, mut inboxes) = Fabric::with_timeout(1, Duration::from_millis(50));
         let rx = inboxes.remove(0);
-        let mut ep = Endpoint::new(0, rx, fabric.recv_timeout());
-        let err = ep.recv_match(0, Some(0), 3).unwrap_err();
+        let mut ep = Endpoint::new(0, rx, fabric.recv_timeout(), fabric.detector().clone());
+        let err = ep.recv_match(0, &[0], Some(0), 3).unwrap_err();
         assert!(matches!(
             err,
             RuntimeError::Timeout {

@@ -94,6 +94,7 @@ where
                     rank,
                     inbox,
                     fabric.recv_timeout(),
+                    fabric.detector().clone(),
                 )));
                 let members: Vec<RankId> = (0..fabric.world_size()).collect();
                 let world =

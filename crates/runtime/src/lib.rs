@@ -37,6 +37,7 @@ pub mod collectives;
 pub mod communicator;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod launcher;
 pub mod payload;
 pub mod stats;
@@ -44,6 +45,7 @@ pub mod stats;
 pub use communicator::Communicator;
 pub use error::{Result, RuntimeError};
 pub use fabric::Fabric;
+pub use fault::{FailureDetector, FaultInjector, FaultPlan, ScheduledKill};
 pub use launcher::{launch, launch_with_fabric, RankCtx};
 pub use payload::Payload;
 pub use stats::{FabricStats, StatsSnapshot};

@@ -4,8 +4,9 @@
 //! the small surface the workspace actually uses: the `Serialize` /
 //! `Deserialize` traits (importable alongside the derive macros of the same
 //! names) and a self-describing [`Value`] tree that `serde_json`'s shim
-//! renders.  Unlike real serde there is no `Serializer`/`Deserializer`
-//! abstraction: `Serialize` converts directly into a [`Value`].
+//! renders and parses.  Unlike real serde there is no
+//! `Serializer`/`Deserializer` abstraction: `Serialize` converts directly
+//! into a [`Value`], and `Deserialize` reconstructs a type from a [`Value`].
 //!
 //! Swapping this for the real crate is a one-line change in the workspace
 //! manifest; the derive invocations and trait imports are source-compatible.
@@ -16,6 +17,7 @@
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 /// A self-describing serialized value (the shim's entire data model).
 #[derive(Debug, Clone, PartialEq)]
@@ -47,11 +49,276 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait mirroring `serde::Deserialize`.
+/// Deserialization error: what was expected, what was found, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error with a free-form message.
+    pub fn message(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y, found Z".
+    pub fn expected(what: &str, while_deserializing: &str, found: &Value) -> Self {
+        DeError(format!(
+            "expected {what} while deserializing {while_deserializing}, found {}",
+            found.kind_name()
+        ))
+    }
+
+    /// An enum tag that matches no variant of the target type.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+
+    /// Prefix the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be reconstructed from a [`Value`] tree, mirroring
+/// `serde::Deserialize` (the lifetime parameter is kept for source
+/// compatibility; the shim always deserializes from an owned tree).
 ///
-/// Nothing in the workspace deserializes at runtime yet, so the derive only
-/// emits an empty impl to keep `#[derive(Deserialize)]` compiling.
-pub trait Deserialize<'de>: Sized {}
+/// The derive macro (`#[derive(Deserialize)]`) generates this impl for the
+/// same shapes the `Serialize` derive supports, inverting the
+/// externally-tagged representation.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct `Self` from a serialized [`Value`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Value {
+    /// Short name of the value's variant, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "unsigned integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Borrow the map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Look up `field` in a struct's map entries and deserialize it.  A missing
+/// field deserializes from `Null`, which lets `Option` fields default to
+/// `None` the way real serde does.  Used by the `Deserialize` derive.
+pub fn de_field<T: for<'de> Deserialize<'de>>(
+    entries: &[(String, Value)],
+    field: &str,
+) -> Result<T, DeError> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::from_value(value).map_err(|e| e.in_field(field))
+}
+
+/// Deserialize element `index` of a tuple's sequence representation.  Used
+/// by the `Deserialize` derive for tuple structs and tuple enum variants.
+pub fn de_element<T: for<'de> Deserialize<'de>>(
+    items: &[Value],
+    index: usize,
+    ty: &str,
+) -> Result<T, DeError> {
+    let value = items.get(index).ok_or_else(|| {
+        DeError::message(format!(
+            "missing tuple element {index} while deserializing {ty}"
+        ))
+    })?;
+    T::from_value(value).map_err(|e| e.in_field(&format!("{ty}.{index}")))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::message(format!("{n} overflows {}", stringify!($t)))
+                    })?,
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::message(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n).map_err(|_| {
+                        DeError::message(format!("{n} is negative for {}", stringify!($t)))
+                    })?,
+                    other => return Err(DeError::expected("unsigned integer", stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::message(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(n) => Ok(*n),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", "f64", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // Serialization widened the f32 exactly into an f64, so narrowing it
+        // back is lossless for values that originated as f32.
+        f64::from_value(value).map(|n| n as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", "char", other)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", "Vec", other)),
+        }
+    }
+}
+
+impl<'de, A, B> Deserialize<'de> for (A, B)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element sequence", "tuple", other)),
+        }
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+    C: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError::expected("3-element sequence", "tuple", other)),
+        }
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+                .collect(),
+            other => Err(DeError::expected("map", "BTreeMap", other)),
+        }
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+                .collect(),
+            other => Err(DeError::expected("map", "HashMap", other)),
+        }
+    }
+}
 
 macro_rules! impl_serialize_int {
     ($($t:ty),*) => {$(
@@ -197,5 +464,52 @@ mod tests {
             vec![1u8, 2].to_value(),
             Value::Seq(vec![Value::U64(1), Value::U64(2)])
         );
+    }
+
+    #[test]
+    fn primitives_deserialize_back_from_values() {
+        assert_eq!(u32::from_value(&Value::U64(3)).unwrap(), 3);
+        assert_eq!(i32::from_value(&Value::I64(-3)).unwrap(), -3);
+        assert_eq!(usize::from_value(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(f64::from_value(&Value::F64(1.5)).unwrap(), 1.5);
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert_eq!(
+            String::from_value(&Value::Str("hi".into())).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(9)).unwrap(), Some(9));
+        assert_eq!(
+            Vec::<u8>::from_value(&Value::Seq(vec![Value::U64(1), Value::U64(2)])).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            <(u64, f64)>::from_value(&Value::Seq(vec![Value::U64(1), Value::F64(0.5)])).unwrap(),
+            (1, 0.5)
+        );
+    }
+
+    #[test]
+    fn deserialize_errors_are_descriptive() {
+        let err = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+        let err = u8::from_value(&Value::U64(300)).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = u32::from_value(&Value::I64(-1)).unwrap_err();
+        assert!(err.to_string().contains("negative"));
+        let err: DeError = de_field::<u32>(&[], "missing").unwrap_err();
+        assert!(err.to_string().starts_with("missing:"));
+    }
+
+    #[test]
+    fn float_values_survive_a_value_round_trip_bit_for_bit() {
+        for x in [0.1f64, -1.0 / 3.0, 1e-15, 6.02214076e23, f64::MIN_POSITIVE] {
+            let v = x.to_value();
+            assert_eq!(f64::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+        for x in [0.1f32, -7.25f32, f32::MIN_POSITIVE] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
     }
 }

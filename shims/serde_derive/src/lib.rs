@@ -7,7 +7,9 @@
 //! this workspace — are non-generic structs (named, tuple, unit) and enums
 //! whose variants are unit, tuple, or struct-like.  `Serialize` produces the
 //! externally-tagged representation serde uses by default; `Deserialize`
-//! emits an empty marker impl.
+//! inverts it, reconstructing the type from a `serde::Value` tree (field
+//! types are recovered by inference through the struct/variant literal, so
+//! the parser never needs to understand type syntax).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -260,16 +262,118 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive shim produced invalid Rust")
 }
 
-/// Derive the shim's `Deserialize` marker trait (empty impl).
+fn named_fields_from_map(ty: &str, fields: &[Field], constructor: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{name}: ::serde::de_field(_entries, \"{name}\")?",
+                name = f.name
+            )
+        })
+        .collect();
+    format!(
+        "{{ let _entries = __value.as_map().ok_or_else(|| \
+             ::serde::DeError::expected(\"map\", \"{ty}\", __value))?; \
+           ::std::result::Result::Ok({constructor} {{ {inits} }}) }}",
+        inits = inits.join(", "),
+    )
+}
+
+fn tuple_fields_from_seq(ty: &str, arity: usize, constructor: &str) -> String {
+    let inits: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::de_element(__items, {i}, \"{ty}\")?"))
+        .collect();
+    format!(
+        "{{ let __items = __value.as_seq().ok_or_else(|| \
+             ::serde::DeError::expected(\"sequence\", \"{ty}\", __value))?; \
+           ::std::result::Result::Ok({constructor}({inits})) }}",
+        inits = inits.join(", "),
+    )
+}
+
+/// Derive the shim's `Deserialize` trait, inverting the externally-tagged
+/// representation produced by the `Serialize` derive.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let Some(item) = parse_item(input) else {
         return TokenStream::new();
     };
+    let ty = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "match __value {{ \
+               ::serde::Value::Null => ::std::result::Result::Ok({ty}), \
+               other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{ty}\", other)) \
+             }}",
+        ),
+        Shape::NamedStruct(fields) => named_fields_from_map(ty, fields, "Self"),
+        Shape::TupleStruct(arity) => tuple_fields_from_seq(ty, *arity, "Self"),
+        Shape::Enum(variants) => {
+            // Unit variants are encoded as a bare string; payload-carrying
+            // variants as a single-entry map keyed by the variant name.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{var}\" => ::std::result::Result::Ok({ty}::{var}),",
+                        var = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let var = &v.name;
+                    let full = format!("{ty}::{var}");
+                    let body = match &v.fields {
+                        VariantFields::Unit => return None,
+                        VariantFields::Named(fields) => {
+                            named_fields_from_map(&full, fields, &full)
+                        }
+                        VariantFields::Tuple(arity) => {
+                            if *arity == 1 {
+                                // A single payload is encoded without the
+                                // sequence wrapper, mirroring Serialize.
+                                format!(
+                                    "::std::result::Result::Ok({full}(\
+                                       ::serde::Deserialize::from_value(__value)\
+                                       .map_err(|e| e.in_field(\"{full}\"))?))",
+                                )
+                            } else {
+                                tuple_fields_from_seq(&full, *arity, &full)
+                            }
+                        }
+                    };
+                    Some(format!("\"{var}\" => {{ let __value = _payload; {body} }},"))
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Str(__tag) => match __tag.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{ty}\")), \
+                   }}, \
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, _payload) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                       {tagged_arms} \
+                       other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{ty}\")), \
+                     }} \
+                   }}, \
+                   other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-entry map\", \"{ty}\", other)), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" "),
+            )
+        }
+    };
     format!(
         "#[automatically_derived]\n\
-         impl<'de> ::serde::Deserialize<'de> for {} {{}}",
-        item.name
+         impl<'de> ::serde::Deserialize<'de> for {ty} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}",
     )
     .parse()
     .expect("serde_derive shim produced invalid Rust")

@@ -17,9 +17,13 @@
 //! * [`pipeline`] — pipeline schedules (GPipe/1F1B), the discrete-event
 //!   pipeline simulator, communication/memory models, hybrid DP×PP
 //!   throughput accounting.
+//! * [`resilience`] — fault tolerance: versioned trainer checkpoints and
+//!   the in-memory/on-disk checkpoint stores behind them.
 //! * [`core`] — DynMo itself: profiler, Partition & Diffusion balancers,
 //!   re-packing (Algorithm 2), elastic GPU release, the rebalance
-//!   controller and the end-to-end [`core::trainer::Trainer`].
+//!   controller, the end-to-end [`core::trainer::Trainer`], and the
+//!   [`core::recovery`] coordinator that survives rank failures and
+//!   re-scales the world live.
 //! * [`baselines`] — Megatron-LM, DeepSpeed, Tutel, Egeria, AutoFreeze, and
 //!   PipeTransformer comparison points.
 //!
@@ -55,5 +59,6 @@ pub use dynmo_core as core;
 pub use dynmo_dynamics as dynamics;
 pub use dynmo_model as model;
 pub use dynmo_pipeline as pipeline;
+pub use dynmo_resilience as resilience;
 pub use dynmo_runtime as runtime;
 pub use dynmo_sparse as sparse;
