@@ -32,6 +32,6 @@ pub use egeria::{AutoFreezeEngine, EgeriaEngine};
 pub use pipetransformer::{plan_halving_repack, PipeTransformerElasticity};
 pub use static_balancers::{
     deepspeed_initial_assignment, megatron_initial_assignment, static_controller,
-    DeepSpeedBalancer, DeepSpeedMethod, MegatronUniformBalancer,
+    zero_bubble_baseline_schedule, DeepSpeedBalancer, DeepSpeedMethod, MegatronUniformBalancer,
 };
 pub use tutel::TutelMoeEngine;

@@ -214,6 +214,16 @@ pub fn static_controller() -> RebalanceController {
     )
 }
 
+/// The pipeline schedule the paper's strongest static baseline runs: the
+/// "almost zero-bubble" scheme of Figure 1, modeled as the ZB-H1 split
+/// backward schedule.  The bench harness gives every SoTA comparison row
+/// this schedule (see `dynmo-bench`'s `run_configuration`), keeping the
+/// comparison honest — DynMo's wins must come from removing the *dynamic*
+/// imbalance bubble, not from a weaker baseline schedule.
+pub fn zero_bubble_baseline_schedule() -> dynmo_pipeline::ScheduleKind {
+    dynmo_pipeline::ScheduleKind::ZeroBubbleH1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

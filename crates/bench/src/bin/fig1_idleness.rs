@@ -10,6 +10,7 @@ use dynmo_bench::{
     dump_json, pct, run_configuration, BalancerKind, CaseConfig, DynamicCase, ExperimentScale,
     Table,
 };
+use dynmo_pipeline::ScheduleKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -81,6 +82,23 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Schedule ablation: the same dynamic workload under all four pipeline
+    // schedules (static partitioning).  This is the bubble a balancer
+    // starts from — the paper's Figure 1 baseline runs the strongest
+    // ("almost zero-bubble") member of this family.
+    for schedule in ScheduleKind::ALL {
+        let config = CaseConfig::new(DynamicCase::EarlyExit, 24, scale).with_schedule(schedule);
+        let result = run_configuration(&config, BalancerKind::StaticMegatron);
+        push(
+            &mut table,
+            &mut rows,
+            DynamicCase::EarlyExit,
+            &schedule.label(),
+            24,
+            &result.report,
+        );
     }
 
     table.print();

@@ -6,8 +6,8 @@
 //! for each combination.
 
 use dynmo_baselines::{
-    deepspeed_initial_assignment, megatron_initial_assignment, static_controller, DeepSpeedMethod,
-    EgeriaEngine, TutelMoeEngine,
+    deepspeed_initial_assignment, megatron_initial_assignment, static_controller,
+    zero_bubble_baseline_schedule, DeepSpeedMethod, EgeriaEngine, TutelMoeEngine,
 };
 use dynmo_core::balancer::{BalanceObjective, DiffusionBalancer, PartitionBalancer};
 use dynmo_core::controller::{RebalanceController, RebalancePolicy};
@@ -20,6 +20,7 @@ use dynmo_dynamics::{
     SparseAttentionEngine,
 };
 use dynmo_model::{ClusterConfig, Model, ModelPreset};
+use dynmo_pipeline::ScheduleKind;
 use serde::{Deserialize, Serialize};
 
 use crate::scale::ExperimentScale;
@@ -175,8 +176,8 @@ impl BalancerKind {
     }
 }
 
-/// One experiment cell: a case, model size, scale, and whether re-packing is
-/// enabled for the DynMo variants.
+/// One experiment cell: a case, model size, scale, pipeline schedule, and
+/// whether re-packing is enabled for the DynMo variants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CaseConfig {
     /// The dynamic-model case.
@@ -185,6 +186,12 @@ pub struct CaseConfig {
     pub gpt_layers: usize,
     /// The experiment scale.
     pub scale: ExperimentScale,
+    /// Pipeline schedule pinned for every configuration in the cell.
+    /// `None` (the default) uses the paper's setup: 1F1B for the Megatron/
+    /// DeepSpeed/DynMo rows and the "almost zero-bubble" baseline schedule
+    /// for the SoTA row; `Some(s)` runs *every* row — SoTA included —
+    /// under `s`.
+    pub schedule: Option<ScheduleKind>,
     /// Whether DynMo variants may re-pack onto fewer GPUs.
     pub repack: bool,
     /// Periodic checkpointing interval for the trainer (None = disabled,
@@ -199,9 +206,16 @@ impl CaseConfig {
             case,
             gpt_layers,
             scale,
+            schedule: None,
             repack: false,
             checkpoint_interval: None,
         }
+    }
+
+    /// Pin one pipeline schedule for every row of the cell (builder style).
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = Some(schedule);
+        self
     }
 
     /// Enable periodic trainer checkpointing (builder style); the write
@@ -228,6 +242,9 @@ pub struct ConfigurationResult {
     pub balancer: BalancerKind,
     /// Display label of the configuration.
     pub label: String,
+    /// The pipeline schedule the run actually used (the SoTA row upgrades
+    /// the cell's 1F1B default to the zero-bubble baseline schedule).
+    pub schedule: ScheduleKind,
     /// The full training report.
     pub report: TrainingReport,
 }
@@ -290,8 +307,21 @@ pub fn build_engine(
 pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> ConfigurationResult {
     let model = config.case.model(config.gpt_layers);
     let cluster = config.cluster();
+    // The paper's setup: DynMo and the static rows run Megatron's 1F1B,
+    // while the SoTA comparison point runs the strongest ("almost
+    // zero-bubble") schedule, so DynMo's wins come from removing dynamic
+    // imbalance rather than from a weaker baseline schedule.  A cell that
+    // pins a schedule compares every row under that one.
+    let schedule = config.schedule.unwrap_or_else(|| {
+        if balancer == BalancerKind::Sota {
+            zero_bubble_baseline_schedule()
+        } else {
+            ScheduleKind::OneFOneB
+        }
+    });
     let trainer_config = TrainerConfig {
         objective: balancer.objective(),
+        schedule,
         ..TrainerConfig::paper_defaults(cluster, config.scale.iterations())
     };
 
@@ -342,6 +372,7 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
         } else {
             balancer.label().to_string()
         },
+        schedule,
         report,
     }
 }
@@ -493,10 +524,48 @@ mod tests {
     }
 
     #[test]
+    fn schedules_thread_through_case_configs() {
+        let base_config = CaseConfig::new(DynamicCase::EarlyExit, 24, ExperimentScale::Smoke);
+        let zb_config = base_config.with_schedule(ScheduleKind::ZeroBubbleH1);
+        assert_eq!(base_config.schedule, None);
+        assert_eq!(zb_config.schedule, Some(ScheduleKind::ZeroBubbleH1));
+        let base = run_configuration(&base_config, BalancerKind::StaticMegatron);
+        let zb = run_configuration(&zb_config, BalancerKind::StaticMegatron);
+        assert_eq!(base.schedule, ScheduleKind::OneFOneB);
+        assert_eq!(zb.schedule, ScheduleKind::ZeroBubbleH1);
+        // Same workload, stronger schedule: the bubble can only shrink.
+        assert!(
+            zb.report.average_bubble_ratio <= base.report.average_bubble_ratio + 1e-9,
+            "ZB-H1 bubble {} vs 1F1B {}",
+            zb.report.average_bubble_ratio,
+            base.report.average_bubble_ratio
+        );
+    }
+
+    #[test]
+    fn sota_rows_run_the_zero_bubble_baseline_schedule() {
+        // The paper compares against "almost zero-bubble" baselines: with
+        // no pinned schedule the SoTA row runs ZB-H1...
+        let config = CaseConfig::new(DynamicCase::EarlyExit, 24, ExperimentScale::Smoke);
+        let sota = run_configuration(&config, BalancerKind::Sota);
+        assert_eq!(sota.schedule, ScheduleKind::ZeroBubbleH1);
+        // ...while DynMo rows run the paper's 1F1B default...
+        let dynmo = run_configuration(&config, BalancerKind::PartitionByTime);
+        assert_eq!(dynmo.schedule, ScheduleKind::OneFOneB);
+        // ...and an explicit pin — even to 1F1B itself — wins everywhere,
+        // SoTA row included.
+        for pin in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let pinned = config.with_schedule(pin);
+            assert_eq!(run_configuration(&pinned, BalancerKind::Sota).schedule, pin);
+        }
+    }
+
+    #[test]
     fn headline_speedup_compares_best_dynamic_to_best_baseline() {
         let mk = |kind: BalancerKind, tps: f64| ConfigurationResult {
             balancer: kind,
             label: kind.label().to_string(),
+            schedule: ScheduleKind::OneFOneB,
             report: {
                 let config = CaseConfig::new(DynamicCase::EarlyExit, 24, ExperimentScale::Smoke);
                 let mut r = run_configuration(&config, BalancerKind::StaticMegatron).report;

@@ -12,6 +12,7 @@
 //! | `lemma2_convergence` | Lemma 2 — diffusion convergence rounds vs the Õ(N²) bound |
 //! | `spmm_crossover` | §4.2.2 — Sputnik vs cuBLAS vs cuSPARSE crossover |
 //! | `fault_tolerance` | Beyond the paper — recovery time vs checkpoint interval vs world size |
+//! | `pipeline_sweep` | Beyond the paper — rayon-parallel (schedule × p × m × imbalance) bubble grid |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the
@@ -24,6 +25,7 @@
 
 pub mod cases;
 pub mod scale;
+pub mod sweep;
 pub mod table;
 
 pub use cases::{
@@ -31,4 +33,5 @@ pub use cases::{
     BalancerKind, CaseConfig, ConfigurationResult, DynamicCase,
 };
 pub use scale::{ExperimentScale, ScaledSchedules};
+pub use sweep::{run_sweep, SweepCase, SweepCell, SweepConfig};
 pub use table::{dump_json, fmt, pct, Table};

@@ -12,8 +12,9 @@ use dynmo_dynamics::DynamismEngine;
 use dynmo_model::{ClusterConfig, Model};
 use dynmo_pipeline::memory::inflight_microbatches;
 use dynmo_pipeline::{
-    load::aggregate_stage_loads, CommCostModel, HybridThroughputModel, LayerLoad,
-    PipelineSimulator, ScheduleKind, StageAssignment,
+    load::{aggregate_stage_loads, apply_boundary_sizes},
+    CommCostModel, HybridThroughputModel, LayerLoad, PipelineSimulator, ScheduleKind,
+    StageAssignment,
 };
 use serde::{Deserialize, Serialize};
 
@@ -258,10 +259,19 @@ impl Trainer {
 
             // Re-simulate the pipeline only when something changed.
             if dirty {
-                let stage_loads = aggregate_stage_loads(
+                let mut stage_loads = aggregate_stage_loads(
                     &loads,
                     assignment.layer_to_stage(),
                     assignment.num_stages(),
+                );
+                // Mechanisms that remove tokens (early exit) shrink the
+                // boundary tensors of every stage behind the exit point,
+                // and with them the pipeline's wire cost.
+                apply_boundary_sizes(
+                    &mut stage_loads,
+                    assignment.layer_to_stage(),
+                    &update.token_retention,
+                    comm.activation_bytes(&model_cfg),
                 );
                 let report =
                     simulator.simulate(&model_cfg, &stage_loads, self.config.num_microbatches);
@@ -551,6 +561,37 @@ mod tests {
         let plain_report = plain.run(&mut engine);
         assert_eq!(plain_report.overhead.recovery, 0.0);
         assert!(plain.checkpoint_store().is_none());
+    }
+
+    #[test]
+    fn advanced_schedules_thread_through_the_trainer() {
+        // The interleaved and zero-bubble schedules must run end-to-end
+        // through the trainer (profiler → balancer → simulator → report)
+        // and, with the same dynamism trajectory (same seed), never produce
+        // a larger pipeline bubble than non-interleaved 1F1B.
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let run = |schedule: ScheduleKind| {
+            let mut cfg = config(4, 60);
+            cfg.schedule = schedule;
+            let mut trainer = Trainer::new(model.clone(), cfg, dynamic_controller());
+            let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+            trainer.run(&mut engine)
+        };
+        let base = run(ScheduleKind::OneFOneB);
+        for schedule in [
+            ScheduleKind::Interleaved1F1B { virtual_stages: 2 },
+            ScheduleKind::ZeroBubbleH1,
+        ] {
+            let report = run(schedule);
+            assert!(
+                report.average_bubble_ratio <= base.average_bubble_ratio + 1e-9,
+                "{schedule:?}: bubble {} vs 1F1B {}",
+                report.average_bubble_ratio,
+                base.average_bubble_ratio
+            );
+            assert!(report.tokens_per_second >= base.tokens_per_second);
+            assert_eq!(report.total_tokens, base.total_tokens);
+        }
     }
 
     #[test]

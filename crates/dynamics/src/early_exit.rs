@@ -122,11 +122,15 @@ impl DynamismEngine for EarlyExitEngine {
             self.last_survival[layer] = surviving;
             update.fwd_scale[layer] = surviving;
             update.bwd_scale[layer] = surviving;
+            // Exited tokens leave the pipeline: every tensor downstream of
+            // this layer carries only the survivors.
+            update.token_retention[layer] = surviving;
         }
         // The head only processes surviving tokens too.
         let head = self.num_layers - 1;
         update.fwd_scale[head] = surviving;
         update.bwd_scale[head] = surviving;
+        update.token_retention[head] = surviving;
         self.last_survival[head] = surviving;
         update.changed = true;
         update

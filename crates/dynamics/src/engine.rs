@@ -86,6 +86,14 @@ pub struct LoadUpdate {
     pub memory_scale: Vec<f64>,
     /// Fraction of each layer's parameters still present (pruning).
     pub param_retention: Vec<f64>,
+    /// Fraction of the micro-batch's tokens still flowing *out of* each
+    /// layer (1.0 = the full residual stream).  Only mechanisms that
+    /// physically remove tokens from the pipeline shrink this — early exit
+    /// drops exited tokens from every later layer; MoD routes tokens
+    /// *around* blocks but keeps the residual stream full-width, so it
+    /// stays at 1.0.  The trainer sizes each stage's outgoing boundary
+    /// tensor (and hence its pipeline comm cost) from this signal.
+    pub token_retention: Vec<f64>,
     /// Whether the model or control flow changed at this iteration (i.e. a
     /// dynamism event occurred).
     pub changed: bool,
@@ -100,6 +108,7 @@ impl LoadUpdate {
             bwd_scale: vec![1.0; num_layers],
             memory_scale: vec![1.0; num_layers],
             param_retention: vec![1.0; num_layers],
+            token_retention: vec![1.0; num_layers],
             changed: false,
         }
     }
@@ -115,6 +124,7 @@ impl LoadUpdate {
         if self.bwd_scale.len() != n
             || self.memory_scale.len() != n
             || self.param_retention.len() != n
+            || self.token_retention.len() != n
         {
             return Err("all LoadUpdate vectors must have the same length".into());
         }
@@ -123,6 +133,7 @@ impl LoadUpdate {
             ("bwd_scale", &self.bwd_scale),
             ("memory_scale", &self.memory_scale),
             ("param_retention", &self.param_retention),
+            ("token_retention", &self.token_retention),
         ] {
             if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
                 return Err(format!("{name} contains a negative or non-finite value"));
@@ -130,6 +141,9 @@ impl LoadUpdate {
         }
         if self.param_retention.iter().any(|x| *x > 1.0 + 1e-9) {
             return Err("param_retention must be ≤ 1".into());
+        }
+        if self.token_retention.iter().any(|x| *x > 1.0 + 1e-9) {
+            return Err("token_retention must be ≤ 1".into());
         }
         Ok(())
     }

@@ -1,15 +1,27 @@
 //! Communication cost model (α–β model over the cluster's links).
 //!
 //! The simulator needs the time to (a) hand activations between adjacent
-//! pipeline stages, (b) all-reduce gradients across data-parallel replicas,
-//! (c) all-to-all tokens between expert-parallel ranks (MoE), and (d)
+//! pipeline stages and (b) return the matching input gradients on the
+//! backward path, (c) all-reduce gradients across data-parallel replicas,
+//! (d) all-to-all tokens between expert-parallel ranks (MoE), and (e)
 //! migrate a layer's state between workers during rebalancing — the cost
 //! the paper's Figure 4 overhead breakdown calls "migration of layers
 //! between GPUs".
+//!
+//! Boundary traffic is sized *per boundary*: each stage carries the byte
+//! size of the hidden-state tensor it hands downstream
+//! ([`StageLoad::boundary_bytes`], defaulting to the model's unshrunk
+//! residual-stream tensor), so mechanisms that drop tokens can shrink the
+//! wire cost of the boundaries behind them.  The backward hand-off prices
+//! the gradient of the same boundary tensor through
+//! [`CommCostModel::gradient_bytes`] rather than re-charging the forward
+//! activation.
 
 use serde::{Deserialize, Serialize};
 
 use dynmo_model::{ClusterConfig, ModelConfig};
+
+use crate::load::StageLoad;
 
 /// Communication cost model bound to a cluster configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,7 +46,10 @@ impl CommCostModel {
     }
 
     /// Time to send one micro-batch's activations from `from_stage` to
-    /// `to_stage` (point-to-point, NVLink within a node, InfiniBand across).
+    /// `to_stage` (point-to-point, NVLink within a node, InfiniBand across),
+    /// at the flat model-level tensor size.  The simulator itself uses the
+    /// per-boundary [`CommCostModel::boundary_transfer_time`]; this remains
+    /// the reference cost for a dense, un-shrunk boundary.
     pub fn activation_transfer_time(
         &self,
         model: &ModelConfig,
@@ -46,14 +61,79 @@ impl CommCostModel {
         self.cluster.device.transfer_time(bytes, intra)
     }
 
+    /// Bytes of the hidden-state tensor leaving `sender`: the stage's own
+    /// [`StageLoad::boundary_bytes`] when set, else the model's unshrunk
+    /// residual-stream tensor ([`CommCostModel::activation_bytes`]).  A
+    /// released (bypassed) stage carries no `boundary_bytes` and so
+    /// forwards the tensor unchanged.
+    pub fn boundary_activation_bytes(&self, model: &ModelConfig, sender: &StageLoad) -> u64 {
+        if sender.boundary_bytes > 0 {
+            sender.boundary_bytes
+        } else {
+            self.activation_bytes(model)
+        }
+    }
+
+    /// Bytes of the input gradient returned across a stage boundary on the
+    /// backward path: the gradient of the boundary tensor, so it matches
+    /// [`CommCostModel::boundary_activation_bytes`] of the stage that
+    /// *produced* the forward activation at that boundary.
+    pub fn gradient_bytes(&self, model: &ModelConfig, boundary_sender: &StageLoad) -> u64 {
+        self.boundary_activation_bytes(model, boundary_sender)
+    }
+
+    /// Time to hand the forward boundary tensor produced by `sender` from
+    /// `from_stage` to `to_stage`.
+    pub fn boundary_transfer_time(
+        &self,
+        model: &ModelConfig,
+        sender: &StageLoad,
+        from_stage: usize,
+        to_stage: usize,
+    ) -> f64 {
+        let bytes = self.boundary_activation_bytes(model, sender) as f64;
+        let intra = self.cluster.same_node(from_stage, to_stage);
+        self.cluster.device.transfer_time(bytes, intra)
+    }
+
+    /// Time to return the input gradient across the boundary whose forward
+    /// tensor was produced by `boundary_sender`, from `from_stage` back to
+    /// `to_stage`.  This is the backward-path counterpart of
+    /// [`CommCostModel::boundary_transfer_time`]; the legacy simulator
+    /// mis-charged the *forward* activation cost here.
+    pub fn gradient_transfer_time(
+        &self,
+        model: &ModelConfig,
+        boundary_sender: &StageLoad,
+        from_stage: usize,
+        to_stage: usize,
+    ) -> f64 {
+        let bytes = self.gradient_bytes(model, boundary_sender) as f64;
+        let intra = self.cluster.same_node(from_stage, to_stage);
+        self.cluster.device.transfer_time(bytes, intra)
+    }
+
     /// Time for a ring all-reduce of `bytes` across `replicas` data-parallel
     /// workers: `2·(n−1)/n · bytes / bandwidth` plus per-step latencies.
+    ///
+    /// Each parallel dimension is costed under its own idealized placement,
+    /// the way production launchers map hybrid jobs: pipeline stages sit on
+    /// consecutive slots within a replica (the point-to-point costs'
+    /// [`ClusterConfig::same_node`] layout), and each stage's data-parallel
+    /// replica group is *node-aligned*, so a group no wider than a node
+    /// rides NVLink — expressed through the same `same_node` routing over
+    /// group-relative slots.  The legacy model billed every all-reduce at
+    /// inter-node bandwidth, even for single-node replica groups.
     pub fn allreduce_time(&self, bytes: u64, replicas: usize) -> f64 {
         if replicas <= 1 || bytes == 0 {
             return 0.0;
         }
         let n = replicas as f64;
-        let bw = self.cluster.device.inter_node_bandwidth;
+        let bw = if self.cluster.same_node(0, replicas - 1) {
+            self.cluster.device.intra_node_bandwidth
+        } else {
+            self.cluster.device.inter_node_bandwidth
+        };
         let steps = 2.0 * (n - 1.0);
         steps * self.cluster.device.link_latency + 2.0 * (n - 1.0) / n * bytes as f64 / bw
     }
@@ -124,6 +204,74 @@ mod tests {
         assert!(t8 > t2);
         let small = c.allreduce_time(1_000_000, 8);
         assert!(small < t8);
+    }
+
+    #[test]
+    fn allreduce_uses_nvlink_when_the_replica_group_fits_in_a_node() {
+        let c = comm(); // 4 GPUs per node
+        let d = c.cluster().device;
+        let bytes = 1_000_000_000u64;
+        // 4 replicas fit in one node → intra-node bandwidth.
+        let within = c.allreduce_time(bytes, 4);
+        let expected_within =
+            6.0 * d.link_latency + 2.0 * 3.0 / 4.0 * bytes as f64 / d.intra_node_bandwidth;
+        assert!((within - expected_within).abs() < 1e-12);
+        // 5 replicas spill across nodes → inter-node bandwidth.
+        let across = c.allreduce_time(bytes, 5);
+        let expected_across =
+            8.0 * d.link_latency + 2.0 * 4.0 / 5.0 * bytes as f64 / d.inter_node_bandwidth;
+        assert!((across - expected_across).abs() < 1e-12);
+        assert!(across > within);
+    }
+
+    fn stage_with_boundary(boundary_bytes: u64) -> StageLoad {
+        StageLoad {
+            fwd_time: 1.0,
+            bwd_time: 2.0,
+            param_count: 100,
+            static_bytes: 1_000,
+            activation_bytes: 10_000,
+            boundary_bytes,
+            num_layers: 6,
+        }
+    }
+
+    #[test]
+    fn boundary_bytes_follow_the_sender_stage_profile() {
+        let c = comm();
+        let m = model();
+        let flat = c.activation_bytes(&m);
+        // A dense stage (no explicit boundary size) sends the flat tensor.
+        assert_eq!(
+            c.boundary_activation_bytes(&m, &stage_with_boundary(0)),
+            flat
+        );
+        // A stage that dropped half its tokens sends half the bytes.
+        let shrunk = stage_with_boundary(flat / 2);
+        assert_eq!(c.boundary_activation_bytes(&m, &shrunk), flat / 2);
+        // An empty (bypassed) stage forwards the tensor unchanged.
+        assert_eq!(c.boundary_activation_bytes(&m, &StageLoad::default()), flat);
+        // The gradient of a boundary matches the boundary tensor.
+        assert_eq!(c.gradient_bytes(&m, &shrunk), flat / 2);
+    }
+
+    #[test]
+    fn boundary_and_gradient_transfers_respect_link_locality() {
+        let c = comm();
+        let m = model();
+        let sender = stage_with_boundary(c.activation_bytes(&m));
+        let within = c.boundary_transfer_time(&m, &sender, 0, 1);
+        let across = c.boundary_transfer_time(&m, &sender, 3, 4);
+        assert!(across > within && within > 0.0);
+        // Gradient hand-off pays the same boundary, in the reverse direction.
+        assert_eq!(
+            c.gradient_transfer_time(&m, &sender, 1, 0),
+            c.boundary_transfer_time(&m, &sender, 0, 1)
+        );
+        // A shrunk boundary is cheaper to cross in both directions.
+        let shrunk = stage_with_boundary(c.activation_bytes(&m) / 4);
+        assert!(c.boundary_transfer_time(&m, &shrunk, 0, 1) < within);
+        assert!(c.gradient_transfer_time(&m, &shrunk, 1, 0) < within);
     }
 
     #[test]

@@ -114,6 +114,7 @@ mod tests {
                 param_count: 100_000_000,
                 static_bytes: 0,
                 activation_bytes: 0,
+                boundary_bytes: 0,
                 num_layers: 6,
             })
             .collect()

@@ -10,15 +10,18 @@
 //!
 //! * [`stage`] — the layer→stage assignment that the balancers manipulate,
 //!   plus [`load::LayerLoad`], the profiled per-layer cost snapshot.
-//! * [`schedule`] — micro-batch orderings for GPipe and 1F1B (the schedule
-//!   family Megatron/DeepSpeed use; the "almost zero-bubble" scheme of the
-//!   paper's Figure 1 is approximated by 1F1B with zero startup cost).
-//! * [`simulator`] — an event-driven simulation that tracks, for every
-//!   worker, when each forward/backward task can start given activation
-//!   dependencies and communication latencies, and reports makespan,
-//!   per-worker idleness and the bubble ratio.
-//! * [`comm`] — an α–β communication model for activations, gradient
-//!   all-reduce, MoE all-to-all, and layer migration.
+//! * [`schedule`] — micro-batch orderings for GPipe, 1F1B, Megatron-style
+//!   interleaved 1F1B (virtual stages), and a ZB-H1-style zero-bubble
+//!   schedule with split backward (the "almost zero-bubble" baseline of
+//!   the paper's Figure 1).
+//! * [`simulator`] — an event-driven engine (binary-heap event queue over
+//!   typed dependency edges) that tracks, for every worker, when each op
+//!   can start given activation/gradient dependencies and communication
+//!   latencies, bypasses stages released by re-packing, and reports
+//!   makespan, per-worker idleness and the bubble ratio.
+//! * [`comm`] — an α–β communication model for per-boundary activation and
+//!   gradient hand-offs, locality-aware gradient all-reduce, MoE
+//!   all-to-all, and layer migration.
 //! * [`memory`] — per-stage memory-capacity checks (OOM detection used by
 //!   re-packing).
 //! * [`data_parallel`] — hybrid data+pipeline parallel throughput

@@ -65,6 +65,16 @@ pub struct StageLoad {
     pub static_bytes: u64,
     /// Sum of activation bytes per in-flight micro-batch.
     pub activation_bytes: u64,
+    /// Bytes of the hidden-state tensor this stage hands to the next one
+    /// (the boundary tensor the comm model prices per stage).  `0` means
+    /// the model's unshrunk residual-stream tensor — the dense default; a
+    /// profiler or sweep that models token dropping sets the shrunk size
+    /// here.  Deliberately *not* derived from `activation_bytes`: a
+    /// stage's internal activation footprint mixes layer types (the
+    /// embedding and head hold ~1/17 of a transformer block's
+    /// activations), so normalizing the boundary by the mean per-layer
+    /// footprint would mis-price every stage containing a special layer.
+    pub boundary_bytes: u64,
     /// Number of layers on the stage.
     pub num_layers: usize,
 }
@@ -83,6 +93,28 @@ impl StageLoad {
     /// Total compute time (forward + backward) per micro-batch.
     pub fn total_time(&self) -> f64 {
         self.fwd_time + self.bwd_time
+    }
+
+    /// Whether the stage hosts no layers at all — the state a worker is
+    /// left in after DynMo's re-packing releases it.  The simulator
+    /// bypasses empty stages with a single direct transfer between their
+    /// non-empty neighbours.
+    pub fn is_empty(&self) -> bool {
+        self.num_layers == 0
+    }
+
+    /// Input-gradient half of the backward pass (zero-bubble split
+    /// backward).  For transformer blocks the activation-gradient and
+    /// weight-gradient matmuls are the same size, so the split is modeled
+    /// as an even halving of the profiled backward time.
+    pub fn bwd_input_time(&self) -> f64 {
+        0.5 * self.bwd_time
+    }
+
+    /// Weight-gradient half of the backward pass (zero-bubble split
+    /// backward); see [`StageLoad::bwd_input_time`].
+    pub fn bwd_weight_time(&self) -> f64 {
+        0.5 * self.bwd_time
     }
 }
 
@@ -103,6 +135,33 @@ pub fn aggregate_stage_loads(
         stages[stage].add_layer(load);
     }
     stages
+}
+
+/// Size every stage's outgoing boundary tensor from a per-layer
+/// token-retention profile: a stage hands downstream the residual stream of
+/// its *last* layer, so its boundary is `flat_boundary_bytes` scaled by
+/// that layer's retention.  Layerless stages are left at 0 (the flat
+/// passthrough default).  `token_retention` comes from the dynamism
+/// engine's `LoadUpdate`; an all-ones profile sets every boundary to the
+/// flat tensor — the same cost the 0 default prices.
+pub fn apply_boundary_sizes(
+    stages: &mut [StageLoad],
+    layer_to_stage: &[usize],
+    token_retention: &[f64],
+    flat_boundary_bytes: u64,
+) {
+    assert_eq!(
+        token_retention.len(),
+        layer_to_stage.len(),
+        "one retention value per layer"
+    );
+    for (layer, &stage) in layer_to_stage.iter().enumerate() {
+        assert!(stage < stages.len(), "stage index {stage} out of range");
+        // Layers arrive in id order, so the last write per stage wins —
+        // exactly the stage's boundary layer.
+        stages[stage].boundary_bytes =
+            (flat_boundary_bytes as f64 * token_retention[layer].clamp(0.0, 1.0)) as u64;
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +203,23 @@ mod tests {
     }
 
     #[test]
+    fn split_backward_halves_sum_to_the_fused_backward() {
+        let mut s = StageLoad::default();
+        s.add_layer(&load(0, 1.5, 10));
+        assert_eq!(s.bwd_input_time() + s.bwd_weight_time(), s.bwd_time);
+        assert_eq!(s.bwd_input_time(), s.bwd_weight_time());
+    }
+
+    #[test]
+    fn only_layerless_stages_are_empty() {
+        assert!(StageLoad::default().is_empty());
+        let mut s = StageLoad::default();
+        s.add_layer(&LayerLoad::zero(0));
+        // A stage of frozen/zero-cost layers still hosts layers.
+        assert!(!s.is_empty());
+    }
+
+    #[test]
     fn aggregation_groups_layers_by_stage() {
         let loads = vec![load(0, 1.0, 10), load(1, 2.0, 20), load(2, 3.0, 30)];
         let stages = aggregate_stage_loads(&loads, &[0, 0, 1], 2);
@@ -152,6 +228,25 @@ mod tests {
         assert_eq!(stages[0].fwd_time, 3.0);
         assert_eq!(stages[1].num_layers, 1);
         assert_eq!(stages[1].param_count, 30);
+    }
+
+    #[test]
+    fn boundary_sizes_follow_the_last_layer_of_each_stage() {
+        let mut stages = vec![StageLoad::default(); 3];
+        stages[0].num_layers = 2;
+        stages[1].num_layers = 2;
+        // Stage 2 is layerless (released) and must keep the 0 default.
+        let layer_to_stage = [0, 0, 1, 1];
+        // Tokens exit after layers 1 and 3.
+        let retention = [1.0, 0.8, 0.8, 0.5];
+        apply_boundary_sizes(&mut stages, &layer_to_stage, &retention, 1_000);
+        assert_eq!(stages[0].boundary_bytes, 800);
+        assert_eq!(stages[1].boundary_bytes, 500);
+        assert_eq!(stages[2].boundary_bytes, 0);
+        // An all-ones profile prices the flat tensor.
+        apply_boundary_sizes(&mut stages, &layer_to_stage, &[1.0; 4], 1_000);
+        assert_eq!(stages[0].boundary_bytes, 1_000);
+        assert_eq!(stages[1].boundary_bytes, 1_000);
     }
 
     #[test]

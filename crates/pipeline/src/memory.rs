@@ -51,18 +51,35 @@ impl StageMemoryReport {
 
 /// Number of micro-batches whose activations are simultaneously alive on
 /// `stage` under the given schedule (`p` stages, `m` micro-batches).
-/// For GPipe every forward activation is held until its backward; for 1F1B
-/// stage `s` holds at most `min(p − s, m)`.
+///
+/// * GPipe holds every forward activation until its backward.
+/// * 1F1B stage `s` holds at most `min(p − s, m)`.
+/// * Interleaved 1F1B holds `warmup + 1` micro-batch *chunks*, each `1/v`
+///   of the stage, so the stage-equivalent count is `⌈(2·(p−s−1) +
+///   (v−1)·p + 1) / v⌉` (capped at `m`) — strictly more than 1F1B: the
+///   shorter bubble is bought with a deeper ramp-up.  When `m == p` the
+///   schedule has no steady state (all forwards run before any backward)
+///   and every stage holds all `m` micro-batches, like GPipe.
+/// * ZB-H1 preserves 1F1B's activation footprint by design (the weight
+///   half of each backward runs immediately after the input half, while
+///   the activations are still required).
 pub fn inflight_microbatches(
     schedule: ScheduleKind,
     stage: usize,
     num_stages: usize,
     num_microbatches: usize,
 ) -> usize {
-    match schedule {
-        ScheduleKind::GPipe => num_microbatches,
-        ScheduleKind::OneFOneB => (num_stages - stage).min(num_microbatches),
-    }
+    let m = num_microbatches;
+    let p = num_stages;
+    // A worker holds the activations of its warm-up forwards plus the one
+    // micro-batch (chunk) in flight through its steady-state alternation;
+    // deriving the count from the schedule's own warm-up depth keeps the
+    // memory model and the op order coupled by construction.
+    let v = schedule.effective_virtual_stages(p, m);
+    let chunks_held = (schedule.warmup_ops(stage, p, m) + 1).min(m * v);
+    // Each chunk holds 1/v of the stage's activations; round the
+    // stage-equivalent count up.
+    chunks_held.div_ceil(v).min(m).max(1)
 }
 
 /// Compute per-stage memory usage for `assignment` over `loads` and check it
@@ -117,6 +134,31 @@ mod tests {
         assert_eq!(inflight_microbatches(ScheduleKind::OneFOneB, 0, 8, 2), 2);
         // GPipe holds everything.
         assert_eq!(inflight_microbatches(ScheduleKind::GPipe, 2, 4, 32), 32);
+        // ZB-H1 matches 1F1B's footprint by construction.
+        for stage in 0..4 {
+            assert_eq!(
+                inflight_microbatches(ScheduleKind::ZeroBubbleH1, stage, 4, 32),
+                inflight_microbatches(ScheduleKind::OneFOneB, stage, 4, 32)
+            );
+        }
+        // Interleaving (v=2, p=4): stage 0 holds ⌈(6+4+1)/2⌉ = 6 stage-
+        // equivalents — more than 1F1B's 4; the last stage holds ⌈5/2⌉ = 3.
+        let inter = ScheduleKind::Interleaved1F1B { virtual_stages: 2 };
+        assert_eq!(inflight_microbatches(inter, 0, 4, 32), 6);
+        assert_eq!(inflight_microbatches(inter, 3, 4, 32), 3);
+        assert!(
+            inflight_microbatches(inter, 0, 4, 32)
+                > inflight_microbatches(ScheduleKind::OneFOneB, 0, 4, 32)
+        );
+        // A single chunk degenerates to 1F1B, and m caps everything.
+        let inter1 = ScheduleKind::Interleaved1F1B { virtual_stages: 1 };
+        assert_eq!(inflight_microbatches(inter1, 1, 4, 32), 3);
+        assert_eq!(inflight_microbatches(inter, 0, 8, 2), 2);
+        // m == p has no steady state (all-forwards-then-all-backwards):
+        // every stage holds all m micro-batches, like GPipe.
+        for stage in 0..4 {
+            assert_eq!(inflight_microbatches(inter, stage, 4, 4), 4);
+        }
     }
 
     #[test]

@@ -119,6 +119,7 @@ mod tests {
             op: Op {
                 kind: OpKind::Forward,
                 microbatch: 0,
+                chunk: 0,
             },
             start,
             end,
