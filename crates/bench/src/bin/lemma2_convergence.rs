@@ -21,6 +21,24 @@ struct ConvergenceRow {
     bound: f64,
     imbalance_before: f64,
     imbalance_after: f64,
+    /// Wall-clock seconds using the O(p) incremental potential update.
+    seconds_incremental: f64,
+    /// Wall-clock seconds recomputing the full O(p²) potential per
+    /// candidate move (the pre-fix behaviour), for the same workload.
+    seconds_full_recompute: f64,
+}
+
+/// Median wall-clock seconds of `f` over `trials` runs.
+fn time_median(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
 }
 
 fn synthetic_loads(layers: usize, seed: u64) -> Vec<LayerLoad> {
@@ -61,9 +79,19 @@ fn main() {
             "Bound",
             "ΔL before",
             "ΔL after",
+            "O(p) time",
+            "O(p²) time",
         ],
     );
     let balancer = DiffusionBalancer::new();
+    let full_recompute = DiffusionBalancer {
+        use_incremental_potential: false,
+        ..DiffusionBalancer::new()
+    };
+    let trials = match scale {
+        ExperimentScale::Smoke => 3,
+        _ => 7,
+    };
     for &workers in &worker_counts {
         let layers = workers * 4;
         let loads = synthetic_loads(layers, 7);
@@ -75,6 +103,17 @@ fn main() {
             BalanceObjective::ByTime,
         ));
         let outcome = balancer.rebalance(&request);
+        let seconds_incremental = time_median(trials, || {
+            std::hint::black_box(balancer.rebalance(&request));
+        });
+        let seconds_full_recompute = time_median(trials, || {
+            std::hint::black_box(full_recompute.rebalance(&request));
+        });
+        // Both paths must commit exactly the same moves.
+        assert_eq!(
+            outcome.assignment,
+            full_recompute.rebalance(&request).assignment
+        );
         let after = load_imbalance(&dynmo_core::balancer::stage_weights(
             &outcome.assignment,
             &loads,
@@ -89,6 +128,8 @@ fn main() {
             format!("{bound:.0}"),
             format!("{before:.3}"),
             format!("{after:.3}"),
+            format!("{:.2} ms", seconds_incremental * 1e3),
+            format!("{:.2} ms", seconds_full_recompute * 1e3),
         ]);
         rows.push(ConvergenceRow {
             workers,
@@ -97,6 +138,8 @@ fn main() {
             bound,
             imbalance_before: before,
             imbalance_after: after,
+            seconds_incremental,
+            seconds_full_recompute,
         });
         assert!(
             (outcome.rounds as f64) <= bound,
@@ -105,6 +148,14 @@ fn main() {
     }
     table.print();
     println!("All measured round counts are within the Lemma 2 bound.");
+    if let Some(row) = rows.iter().find(|r| r.workers == 64) {
+        println!(
+            "p = 64: incremental potential {:.2} ms vs full recompute {:.2} ms ({:.1}× faster)",
+            row.seconds_incremental * 1e3,
+            row.seconds_full_recompute * 1e3,
+            row.seconds_full_recompute / row.seconds_incremental.max(1e-12),
+        );
+    }
     if let Some(path) = dump_json("lemma2_convergence", &rows) {
         println!("(raw rows written to {})", path.display());
     }

@@ -1,0 +1,383 @@
+//! Composite-dynamics sweep: stacked mechanisms × balancer × schedule.
+//!
+//! The paper evaluates the six dynamism cases one at a time; real dynamic
+//! LLMs stack them.  This module fans a grid of 2- and 3-mechanism stacks
+//! (built with [`ComposedEngine`](dynmo_dynamics::ComposedEngine)) across
+//! both balancer families and the 1F1B / ZB-H1 schedules with rayon, and —
+//! because composite runs are exactly the ones a long training campaign
+//! cares about recovering — re-runs every cell through the checkpoint →
+//! crash → resume harness and records whether the recovered trajectory is
+//! bit-identical to the failure-free one.
+
+use dynmo_core::balancer::{BalanceObjective, DiffusionBalancer, PartitionBalancer};
+use dynmo_core::composite::{run_composite_with_recovery, CompositeRunSpec};
+use dynmo_core::controller::{RebalanceController, RebalancePolicy};
+use dynmo_core::trainer::TrainerConfig;
+use dynmo_dynamics::{
+    DynamismEngine, EarlyExitEngine, EarlyExitMethod, FreezingEngine, GradualPruningEngine,
+    MoeEngine, RoutingStrategy,
+};
+use dynmo_model::{ClusterConfig, Model, ModelPreset};
+use dynmo_pipeline::ScheduleKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::scale::ExperimentScale;
+
+/// One mechanism of a stack (the subset of the paper's cases the standard
+/// composite grid draws from; MoE implies the Mixtral model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Token-choice MoE routing skew (requires an MoE model).
+    Moe,
+    /// Gradual global magnitude pruning.
+    Pruning,
+    /// Adaptive layer freezing.
+    Freezing,
+    /// Confidence-based early exit of tokens.
+    EarlyExit,
+}
+
+impl Mechanism {
+    /// Short label used in stack names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mechanism::Moe => "moe",
+            Mechanism::Pruning => "pruning",
+            Mechanism::Freezing => "freezing",
+            Mechanism::EarlyExit => "early-exit",
+        }
+    }
+}
+
+/// A named stack of mechanisms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackSpec {
+    /// The mechanisms, in stack order.
+    pub mechanisms: Vec<Mechanism>,
+    /// Base RNG seed; mechanism `i` is seeded with `seed + i`.
+    pub seed: u64,
+}
+
+impl StackSpec {
+    /// `"moe+pruning+early-exit"`-style label.
+    pub fn label(&self) -> String {
+        self.mechanisms
+            .iter()
+            .map(|m| m.label())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Whether the stack needs the MoE (Mixtral) model.
+    pub fn needs_moe_model(&self) -> bool {
+        self.mechanisms.contains(&Mechanism::Moe)
+    }
+
+    /// The model this stack trains: Mixtral when an MoE member is present,
+    /// a GPT otherwise.
+    pub fn model(&self, gpt_layers: usize) -> Model {
+        if self.needs_moe_model() {
+            Model::from_preset(ModelPreset::Mixtral8x7b)
+        } else {
+            Model::from_preset(ModelPreset::Gpt { layers: gpt_layers })
+        }
+    }
+
+    /// Build the engine stack for `model` at `scale` (schedule-bearing
+    /// mechanisms are compressed to the scale's iteration budget).
+    pub fn build(
+        &self,
+        model: &Model,
+        scale: ExperimentScale,
+    ) -> Vec<Box<dyn DynamismEngine + Send>> {
+        let schedules = scale.schedules();
+        self.mechanisms
+            .iter()
+            .enumerate()
+            .map(|(i, mechanism)| -> Box<dyn DynamismEngine + Send> {
+                let seed = self.seed + i as u64;
+                match mechanism {
+                    Mechanism::Moe => Box::new(MoeEngine::new(
+                        model,
+                        RoutingStrategy::TokenChoiceAuxLoss,
+                        seed,
+                    )),
+                    Mechanism::Pruning => {
+                        Box::new(GradualPruningEngine::new(model, schedules.pruning, seed))
+                    }
+                    Mechanism::Freezing => {
+                        Box::new(FreezingEngine::new(model, schedules.freezing, seed))
+                    }
+                    Mechanism::EarlyExit => {
+                        Box::new(EarlyExitEngine::new(model, EarlyExitMethod::Calm, seed))
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The standard composite grid: 2- and 3-mechanism stacks covering every
+/// pairing family (MoE×pruning, MoE×exit, pruning×freezing, freezing×exit)
+/// plus the two headline 3-stacks — including the acceptance scenario
+/// `moe+pruning+early-exit`.
+pub fn standard_stacks() -> Vec<StackSpec> {
+    let stacks: Vec<Vec<Mechanism>> = vec![
+        vec![Mechanism::Moe, Mechanism::Pruning],
+        vec![Mechanism::Moe, Mechanism::EarlyExit],
+        vec![Mechanism::Pruning, Mechanism::Freezing],
+        vec![Mechanism::Freezing, Mechanism::EarlyExit],
+        vec![Mechanism::Moe, Mechanism::Pruning, Mechanism::EarlyExit],
+        vec![
+            Mechanism::Pruning,
+            Mechanism::Freezing,
+            Mechanism::EarlyExit,
+        ],
+    ];
+    stacks
+        .into_iter()
+        .map(|mechanisms| StackSpec {
+            mechanisms,
+            seed: 1234,
+        })
+        .collect()
+}
+
+/// Which balancer family a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompositeBalancer {
+    /// Centralized contiguous partitioning, by time.
+    Partition,
+    /// Decentralized diffusion, by time.
+    Diffusion,
+}
+
+impl CompositeBalancer {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompositeBalancer::Partition => "partition",
+            CompositeBalancer::Diffusion => "diffusion",
+        }
+    }
+
+    fn controller(&self) -> RebalanceController {
+        match self {
+            CompositeBalancer::Partition => RebalanceController::new(
+                Box::new(PartitionBalancer::new()),
+                BalanceObjective::ByTime,
+                RebalancePolicy::dynamic(),
+            ),
+            CompositeBalancer::Diffusion => RebalanceController::new(
+                Box::new(DiffusionBalancer::new()),
+                BalanceObjective::ByTime,
+                RebalancePolicy::dynamic(),
+            ),
+        }
+    }
+}
+
+/// One cell of the composite grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeCase {
+    /// The mechanism stack.
+    pub stack: StackSpec,
+    /// The balancer family.
+    pub balancer: CompositeBalancer,
+    /// The pipeline schedule.
+    pub schedule: ScheduleKind,
+}
+
+/// The simulated outcome of one composite cell — one row of
+/// `results/composite_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeCell {
+    /// Stack label, e.g. `"moe+pruning+early-exit"`.
+    pub stack: String,
+    /// Number of stacked mechanisms.
+    pub mechanisms: usize,
+    /// Balancer label (`"partition"` / `"diffusion"`).
+    pub balancer: String,
+    /// Schedule label (`"1F1B"` / `"ZB-H1"`).
+    pub schedule: String,
+    /// Model trained (`"mixtral-8x7b"` / `"gpt"`).
+    pub model: String,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Training iterations simulated.
+    pub iterations: u64,
+    /// End-to-end throughput of the failure-free run, tokens/second.
+    pub tokens_per_second: f64,
+    /// Average pipeline bubble ratio.
+    pub bubble_ratio: f64,
+    /// Average per-worker idleness.
+    pub average_idleness: f64,
+    /// Mean Eq. 2 load imbalance over the run.
+    pub mean_imbalance: f64,
+    /// Rebalance events executed.
+    pub rebalance_events: u64,
+    /// Overhead fraction of total training time.
+    pub overhead_fraction: f64,
+    /// FNV-1a checksum of the failure-free run's simulated trajectory.
+    pub trajectory_checksum: u64,
+    /// Iteration the mid-run crash was injected at.
+    pub killed_at: u64,
+    /// Checkpoint iteration the recovery resumed from.
+    pub resumed_from: u64,
+    /// Whether the recovered run's trajectory matched the failure-free
+    /// run's bit-for-bit.
+    pub recovery_bit_identical: bool,
+}
+
+/// The composite grid for a scale: every standard stack × {Partition,
+/// Diffusion} × {1F1B, ZB-H1}.
+pub fn composite_grid(scale: ExperimentScale) -> Vec<CompositeCase> {
+    let stacks = match scale {
+        // Smoke: one 2-stack and the acceptance 3-stack keep CI fast.
+        ExperimentScale::Smoke => {
+            let all = standard_stacks();
+            vec![all[2].clone(), all[4].clone()]
+        }
+        _ => standard_stacks(),
+    };
+    let mut cells = Vec::new();
+    for stack in &stacks {
+        for balancer in [CompositeBalancer::Partition, CompositeBalancer::Diffusion] {
+            for schedule in [ScheduleKind::OneFOneB, ScheduleKind::ZeroBubbleH1] {
+                cells.push(CompositeCase {
+                    stack: stack.clone(),
+                    balancer,
+                    schedule,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn composite_cluster(scale: ExperimentScale, needs_moe: bool) -> ClusterConfig {
+    if needs_moe {
+        scale.moe_cluster()
+    } else {
+        scale.gpt_cluster()
+    }
+}
+
+/// Run one composite cell: the failure-free run plus the crash/recovery
+/// session, both through the same trainer configuration.
+pub fn run_composite_cell(case: &CompositeCase, scale: ExperimentScale) -> CompositeCell {
+    let model = case.stack.model(32);
+    let cluster = composite_cluster(scale, case.stack.needs_moe_model());
+    let config = TrainerConfig {
+        schedule: case.schedule,
+        ..TrainerConfig::paper_defaults(cluster, scale.iterations())
+    };
+    let iterations = config.num_iterations;
+    // Checkpoint four times per run; kill two thirds of the way through,
+    // off the checkpoint grid, so the recovery genuinely replays.
+    let checkpoint_interval = (iterations / 4).max(1);
+    let kill_at = (iterations * 2 / 3)
+        .max(checkpoint_interval)
+        .min(iterations - 1);
+
+    let make_controller = || case.balancer.controller();
+    let make_stack = || case.stack.build(&model, scale);
+    let spec = CompositeRunSpec {
+        model: &model,
+        config: &config,
+        make_controller: &make_controller,
+        make_stack: &make_stack,
+    };
+    let report = run_composite_with_recovery(&spec, checkpoint_interval, kill_at)
+        .expect("composite recovery session failed");
+
+    CompositeCell {
+        stack: case.stack.label(),
+        mechanisms: case.stack.mechanisms.len(),
+        balancer: case.balancer.label().to_string(),
+        schedule: case.schedule.label(),
+        model: if case.stack.needs_moe_model() {
+            "mixtral-8x7b".to_string()
+        } else {
+            "gpt".to_string()
+        },
+        stages: cluster.pipeline_stages,
+        iterations,
+        tokens_per_second: report.baseline.tokens_per_second,
+        bubble_ratio: report.baseline.average_bubble_ratio,
+        average_idleness: report.baseline.average_idleness,
+        mean_imbalance: report.baseline.mean_imbalance,
+        rebalance_events: report.baseline.rebalance_events,
+        overhead_fraction: report.baseline.overhead_fraction,
+        trajectory_checksum: report.baseline.trajectory_checksum,
+        killed_at: report.killed_at,
+        resumed_from: report.resumed_from,
+        recovery_bit_identical: report.bit_identical,
+    }
+}
+
+/// Run the whole composite grid, fanning cells across rayon's thread pool;
+/// rows come back in grid order (stack-major).
+pub fn run_composite_sweep(scale: ExperimentScale) -> Vec<CompositeCell> {
+    let cells = composite_grid(scale);
+    cells
+        .par_iter()
+        .map(|case| run_composite_cell(case, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_stacks_cover_2_and_3_mechanism_combinations() {
+        let stacks = standard_stacks();
+        assert!(stacks.iter().any(|s| s.mechanisms.len() == 2));
+        assert!(stacks.iter().any(|s| s.mechanisms.len() == 3));
+        // The acceptance stack is present.
+        assert!(stacks.iter().any(|s| s.label() == "moe+pruning+early-exit"));
+        // Labels are unique.
+        let labels: std::collections::HashSet<String> = stacks.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), stacks.len());
+    }
+
+    #[test]
+    fn smoke_grid_covers_both_balancers_and_schedules() {
+        let grid = composite_grid(ExperimentScale::Smoke);
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        assert!(grid
+            .iter()
+            .any(|c| c.balancer == CompositeBalancer::Partition));
+        assert!(grid
+            .iter()
+            .any(|c| c.balancer == CompositeBalancer::Diffusion));
+        assert!(grid
+            .iter()
+            .any(|c| c.schedule == ScheduleKind::ZeroBubbleH1));
+        assert!(grid
+            .iter()
+            .any(|c| c.stack.label() == "moe+pruning+early-exit"));
+    }
+
+    #[test]
+    fn one_smoke_cell_runs_and_recovers_bit_identically() {
+        let grid = composite_grid(ExperimentScale::Smoke);
+        let case = grid
+            .iter()
+            .find(|c| {
+                c.stack.label() == "moe+pruning+early-exit"
+                    && c.balancer == CompositeBalancer::Partition
+                    && c.schedule == ScheduleKind::OneFOneB
+            })
+            .unwrap();
+        let cell = run_composite_cell(case, ExperimentScale::Smoke);
+        assert_eq!(cell.mechanisms, 3);
+        assert_eq!(cell.model, "mixtral-8x7b");
+        assert!(cell.tokens_per_second > 0.0);
+        assert!(cell.rebalance_events > 0);
+        assert!(cell.recovery_bit_identical);
+        assert!(cell.resumed_from <= cell.killed_at);
+    }
+}

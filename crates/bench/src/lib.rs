@@ -13,6 +13,7 @@
 //! | `spmm_crossover` | §4.2.2 — Sputnik vs cuBLAS vs cuSPARSE crossover |
 //! | `fault_tolerance` | Beyond the paper — recovery time vs checkpoint interval vs world size |
 //! | `pipeline_sweep` | Beyond the paper — rayon-parallel (schedule × p × m × imbalance) bubble grid |
+//! | `composite_sweep` | Beyond the paper — stacked-mechanism (stack × balancer × schedule) grid with crash/recovery checks |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cases;
+pub mod composite;
 pub mod scale;
 pub mod sweep;
 pub mod table;
@@ -31,6 +33,10 @@ pub mod table;
 pub use cases::{
     build_engine, headline_speedup, reference_throughput, run_comparison, run_configuration,
     BalancerKind, CaseConfig, ConfigurationResult, DynamicCase,
+};
+pub use composite::{
+    composite_grid, run_composite_cell, run_composite_sweep, standard_stacks, CompositeBalancer,
+    CompositeCase, CompositeCell, Mechanism, StackSpec,
 };
 pub use scale::{ExperimentScale, ScaledSchedules};
 pub use sweep::{run_sweep, SweepCase, SweepCell, SweepConfig};

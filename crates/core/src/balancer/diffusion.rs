@@ -31,6 +31,12 @@ pub struct DiffusionBalancer {
     /// Convergence threshold γ on the potential function, expressed as a
     /// fraction of the total load (so it is scale-free).
     pub gamma_fraction: f64,
+    /// Evaluate candidate moves with the O(p) incremental potential update
+    /// ([`potential_after_move`]) instead of cloning the stage loads and
+    /// recomputing the full O(p²) pairwise sum per candidate.  On by
+    /// default; the `lemma2_convergence` bench flips it off to measure the
+    /// win, and the property tests pin both paths to identical outcomes.
+    pub use_incremental_potential: bool,
 }
 
 impl Default for DiffusionBalancer {
@@ -38,6 +44,7 @@ impl Default for DiffusionBalancer {
         DiffusionBalancer {
             max_rounds: 100_000,
             gamma_fraction: 1e-3,
+            use_incremental_potential: true,
         }
     }
 }
@@ -61,7 +68,8 @@ impl DiffusionBalancer {
 }
 
 /// The potential function φ of Lemma 2: the sum of absolute pairwise load
-/// gaps across all worker pairs.
+/// gaps across all worker pairs.  O(p²) — use [`potential_after_move`] to
+/// evaluate a candidate boundary move in O(p).
 pub fn potential(stage_loads: &[f64]) -> f64 {
     let mut phi = 0.0;
     for i in 0..stage_loads.len() {
@@ -72,6 +80,29 @@ pub fn potential(stage_loads: &[f64]) -> f64 {
     phi
 }
 
+/// φ after moving weight `w` from stage `from` to stage `to`, computed
+/// incrementally from the current `phi`: a boundary move only changes two
+/// stage loads, so only the O(p) pairwise terms touching those two stages
+/// change — the remaining O(p²) terms cancel.  With exactly-representable
+/// loads (integer-valued f64s, as the property test uses) the result is
+/// bit-equal to recomputing [`potential`] on the moved load vector.
+pub fn potential_after_move(stage_loads: &[f64], phi: f64, from: usize, to: usize, w: f64) -> f64 {
+    debug_assert_ne!(from, to);
+    let old_from = stage_loads[from];
+    let old_to = stage_loads[to];
+    let new_from = old_from - w;
+    let new_to = old_to + w;
+    let mut delta = (new_from - new_to).abs() - (old_from - old_to).abs();
+    for (j, &load) in stage_loads.iter().enumerate() {
+        if j == from || j == to {
+            continue;
+        }
+        delta += (new_from - load).abs() - (old_from - load).abs();
+        delta += (new_to - load).abs() - (old_to - load).abs();
+    }
+    phi + delta
+}
+
 impl LoadBalancer for DiffusionBalancer {
     fn name(&self) -> String {
         "diffusion".to_string()
@@ -79,8 +110,18 @@ impl LoadBalancer for DiffusionBalancer {
 
     fn rebalance(&self, request: &BalanceRequest<'_>) -> BalanceOutcome {
         let num_layers = request.loads.len();
+        // The current assignment seeds the iteration only when it still
+        // matches the request's shape: stage count AND layer count.  A
+        // stale assignment after a layer-count change (pruned or released
+        // layers, a grown model) would index `weights[layer]` out of
+        // bounds — or, worse, silently balance the wrong layers.
         let mut assignment = match request.current {
-            Some(current) if current.num_stages() == request.num_stages => current.clone(),
+            Some(current)
+                if current.num_stages() == request.num_stages
+                    && current.num_layers() == num_layers =>
+            {
+                current.clone()
+            }
             _ => StageAssignment::uniform(num_layers, request.num_stages),
         };
         let weights: Vec<f64> = (0..num_layers).map(|l| request.weight(l)).collect();
@@ -90,6 +131,32 @@ impl LoadBalancer for DiffusionBalancer {
         let mut loads = stage_weights(&assignment, request.loads, request.objective);
         let mut phi = potential(&loads);
         let mut rounds = 0u64;
+
+        // Evaluate moving the boundary layer of `from` to `to`: the new φ
+        // (incremental O(p) delta, or the legacy full O(p²) recompute) and
+        // the layer moved, when the move improves φ and fits in memory.
+        let evaluate = |assignment: &StageAssignment,
+                        loads: &[f64],
+                        phi: f64,
+                        from: usize,
+                        to: usize|
+         -> Option<(usize, f64)> {
+            let layer = boundary_layer(assignment, from, to)?;
+            let w = weights[layer];
+            let new_phi = if self.use_incremental_potential {
+                potential_after_move(loads, phi, from, to, w)
+            } else {
+                let mut new_loads = loads.to_vec();
+                new_loads[from] -= w;
+                new_loads[to] += w;
+                potential(&new_loads)
+            };
+            // Memory check on the destination stage.
+            let mut dest_layers = assignment.layers_of(to);
+            dest_layers.push(layer);
+            let fits = request.stage_memory(to, &dest_layers) <= request.memory_capacity;
+            (new_phi < phi - 1e-15 && fits).then_some((layer, new_phi))
+        };
 
         while rounds < self.max_rounds && phi > gamma {
             rounds += 1;
@@ -113,58 +180,31 @@ impl LoadBalancer for DiffusionBalancer {
             } else {
                 (right, left)
             };
-            let candidate = boundary_layer(&assignment, from, to);
-            let mut improved = false;
-            if let Some(layer) = candidate {
-                let w = weights[layer];
-                let mut new_loads = loads.clone();
-                new_loads[from] -= w;
-                new_loads[to] += w;
-                let new_phi = potential(&new_loads);
-                // Memory check on the destination stage.
-                let mut dest_layers = assignment.layers_of(to);
-                dest_layers.push(layer);
-                let fits = request.stage_memory(to, &dest_layers) <= request.memory_capacity;
-                if new_phi < phi - 1e-15 && fits {
-                    assignment.move_layer(layer, to).expect("valid move");
-                    loads = new_loads;
-                    phi = new_phi;
-                    improved = true;
-                }
-            }
-            if !improved {
+            let mut committed = evaluate(&assignment, &loads, phi, from, to)
+                .map(|(layer, new_phi)| (layer, new_phi, from, to));
+            if committed.is_none() {
                 // The max-gap pair cannot improve; try any other adjacent
                 // pair before declaring convergence.
-                let mut any = false;
                 for s in 0..request.num_stages.saturating_sub(1) {
                     let (from, to) = if loads[s] >= loads[s + 1] {
                         (s, s + 1)
                     } else {
                         (s + 1, s)
                     };
-                    if let Some(layer) = boundary_layer(&assignment, from, to) {
-                        let w = weights[layer];
-                        let mut new_loads = loads.clone();
-                        new_loads[from] -= w;
-                        new_loads[to] += w;
-                        let new_phi = potential(&new_loads);
-                        let mut dest_layers = assignment.layers_of(to);
-                        dest_layers.push(layer);
-                        let fits =
-                            request.stage_memory(to, &dest_layers) <= request.memory_capacity;
-                        if new_phi < phi - 1e-15 && fits {
-                            assignment.move_layer(layer, to).expect("valid move");
-                            loads = new_loads;
-                            phi = new_phi;
-                            any = true;
-                            break;
-                        }
+                    if let Some((layer, new_phi)) = evaluate(&assignment, &loads, phi, from, to) {
+                        committed = Some((layer, new_phi, from, to));
+                        break;
                     }
                 }
-                if !any {
-                    break; // no single-layer move improves φ: converged
-                }
             }
+            let Some((layer, new_phi, from, to)) = committed else {
+                break; // no single-layer move improves φ: converged
+            };
+            assignment.move_layer(layer, to).expect("valid move");
+            let w = weights[layer];
+            loads[from] -= w;
+            loads[to] += w;
+            phi = new_phi;
         }
 
         let bottleneck = loads.iter().copied().fold(0.0, f64::max);
@@ -306,6 +346,84 @@ mod tests {
         let outcome = DiffusionBalancer::new().rebalance(&request);
         assert_eq!(outcome.assignment.num_stages(), 3);
         assert_eq!(outcome.assignment.counts(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn stale_layer_count_restarts_from_uniform_instead_of_indexing_oob() {
+        // Regression: the fast path used to accept any current assignment
+        // with a matching *stage* count.  After a layer-count change (e.g.
+        // fully released layers dropped from the profile) the stale
+        // 16-layer assignment would index `weights[layer]` out of bounds
+        // for the 10-layer request — or mis-balance if it happened to fit.
+        let loads = loads_from_times(&(0..10).map(|i| 1.0 + i as f64 * 0.3).collect::<Vec<_>>());
+        let stale = StageAssignment::uniform(16, 4);
+        let request =
+            BalanceRequest::new(&loads, 4, u64::MAX, BalanceObjective::ByTime).with_current(&stale);
+        let outcome = DiffusionBalancer::new().rebalance(&request);
+        assert_eq!(outcome.assignment.num_layers(), 10);
+        assert_eq!(outcome.assignment.num_stages(), 4);
+        assert!(outcome.assignment.is_contiguous());
+        // And it matches a run that never saw the stale assignment.
+        let fresh = DiffusionBalancer::new().rebalance(&BalanceRequest::new(
+            &loads,
+            4,
+            u64::MAX,
+            BalanceObjective::ByTime,
+        ));
+        assert_eq!(outcome.assignment, fresh.assignment);
+    }
+
+    #[test]
+    fn incremental_potential_matches_full_recompute_bit_for_bit() {
+        // Integer-valued f64 loads keep every sum/difference exact, so the
+        // O(p) delta and the O(p²) recompute must agree to the last bit.
+        let loads: Vec<f64> = (0..24).map(|i| f64::from(((i * 37) % 17) + 1)).collect();
+        let phi = potential(&loads);
+        for from in 0..loads.len() {
+            for to in 0..loads.len() {
+                if from == to {
+                    continue;
+                }
+                for w in [1.0f64, 2.0, 5.0, 13.0] {
+                    let incremental = potential_after_move(&loads, phi, from, to, w);
+                    let mut moved = loads.clone();
+                    moved[from] -= w;
+                    moved[to] += w;
+                    let full = potential(&moved);
+                    assert_eq!(
+                        incremental.to_bits(),
+                        full.to_bits(),
+                        "from {from} to {to} w {w}: {incremental} vs {full}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_and_full_paths_produce_identical_outcomes() {
+        // The toggle only changes how candidate φ values are computed; the
+        // committed moves — and hence the final assignment, round count,
+        // and bottleneck — must be identical on realistic (non-dyadic)
+        // workloads.
+        for seed in 0..6u64 {
+            let times: Vec<f64> = (0..40)
+                .map(|i| 0.25 + (((i as u64 + 1) * (seed + 3) * 2654435761) % 997) as f64 / 300.0)
+                .collect();
+            let loads = loads_from_times(&times);
+            let current = StageAssignment::uniform(40, 8);
+            let request = BalanceRequest::new(&loads, 8, u64::MAX, BalanceObjective::ByTime)
+                .with_current(&current);
+            let incremental = DiffusionBalancer::new().rebalance(&request);
+            let full = DiffusionBalancer {
+                use_incremental_potential: false,
+                ..DiffusionBalancer::new()
+            }
+            .rebalance(&request);
+            assert_eq!(incremental.assignment, full.assignment, "seed {seed}");
+            assert_eq!(incremental.rounds, full.rounds);
+            assert_eq!(incremental.bottleneck.to_bits(), full.bottleneck.to_bits());
+        }
     }
 
     #[test]

@@ -107,12 +107,21 @@ impl LoadBalancer for PartitionBalancer {
         // Memory feasibility pass: if the weight-balanced split blows a
         // worker's memory budget, fall back to partitioning by memory bytes
         // (feasibility dominates optimality, as in the paper's "subject to
-        // the constraints of memory capacity per worker").
+        // the constraints of memory capacity per worker").  A layer's stage
+        // — and with it the schedule's per-stage in-flight depth — is not
+        // known until after the split, so each layer is priced at the
+        // *worst-case* in-flight depth across stages, consistent with the
+        // per-stage accounting `stage_memory` applies afterwards: a split
+        // balanced under the worst case can only over-provision, never
+        // overflow a deep stage the way pricing every layer at stage 0's
+        // depth did (1F1B/ZB-H1 depths vary per stage, and after an elastic
+        // re-scale stage 0 need not be the deepest).
         if !memory_ok(request, &counts) {
+            let worst_inflight = request.inflight.iter().copied().max().unwrap_or(1) as u64;
             let mem_weights: Vec<f64> = (0..request.loads.len())
                 .map(|l| {
-                    let inflight = *request.inflight.first().unwrap_or(&1) as u64;
-                    (request.loads[l].static_bytes + request.loads[l].activation_bytes * inflight)
+                    (request.loads[l].static_bytes
+                        + request.loads[l].activation_bytes * worst_inflight)
                         as f64
                 })
                 .collect();
@@ -274,6 +283,62 @@ mod tests {
         // The memory fallback gives a 4/4 split that fits.
         assert_eq!(counts.iter().sum::<usize>(), 8);
         assert!(counts.iter().all(|&c| c <= 4), "counts {counts:?}");
+    }
+
+    #[test]
+    fn memory_fallback_prices_layers_at_the_worst_case_inflight_depth() {
+        // Regression: the fallback used to weight every layer with stage
+        // 0's in-flight count (`request.inflight.first()`).  In-flight
+        // depth varies per stage (1F1B/ZB-H1 taper it; after an elastic
+        // re-scale the deep stage need not be stage 0), so pricing
+        // activation-heavy layers at a shallow stage's depth packs them
+        // onto a deep stage and overflows it.
+        //
+        // Layers 0..3 are static-heavy (4000 B, no activations); layers
+        // 4..7 are activation-heavy (1000 B per in-flight micro-batch).
+        // Stage 1 holds 4 in-flight micro-batches, stage 0 only 1.
+        let mut loads = loads_from_times(&[1.0; 8]);
+        for (i, load) in loads.iter_mut().enumerate() {
+            load.fwd_time = if i == 7 { 10.0 } else { 1.0 };
+            load.bwd_time = 0.0;
+            if i < 4 {
+                load.static_bytes = 4_000;
+                load.activation_bytes = 0;
+            } else {
+                load.static_bytes = 0;
+                load.activation_bytes = 1_000;
+            }
+        }
+        let capacity = 17_000;
+        let request = BalanceRequest::new(&loads, 2, capacity, BalanceObjective::ByTime)
+            .with_inflight(vec![1, 4]);
+
+        // The by-time split ([7, 1]) blows stage 0's budget, so the memory
+        // fallback must engage.
+        let time_weights: Vec<f64> = (0..8).map(|l| request.weight(l)).collect();
+        assert_eq!(partition_balanced(&time_weights, 2), vec![7, 1]);
+        assert!(!memory_ok(&request, &[7, 1]));
+
+        // Old behaviour, reproduced inline: weighting by stage 0's
+        // in-flight depth (1) splits [3, 5] and overflows the *late* deep
+        // stage — 4000 B static + 4 × 4 × 1000 B activations = 20 kB > 17 kB.
+        let stage0_inflight = *request.inflight.first().unwrap() as u64;
+        let old_weights: Vec<f64> = loads
+            .iter()
+            .map(|l| (l.static_bytes + l.activation_bytes * stage0_inflight) as f64)
+            .collect();
+        let old_counts = partition_balanced(&old_weights, 2);
+        assert_eq!(old_counts, vec![3, 5]);
+        assert!(
+            !memory_ok(&request, &old_counts),
+            "the old weighting must overflow the deep late stage for this regression test"
+        );
+
+        // The fixed fallback prices every layer at the worst-case depth,
+        // splits [4, 4], and both stages fit.
+        let outcome = PartitionBalancer::new().rebalance(&request);
+        assert_eq!(outcome.assignment.counts(), vec![4, 4]);
+        assert!(memory_ok(&request, &outcome.assignment.counts()));
     }
 
     #[test]

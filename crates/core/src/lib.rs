@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod composite;
 pub mod controller;
 pub mod elastic;
 pub mod imbalance;
@@ -45,6 +46,7 @@ pub mod report;
 pub mod trainer;
 
 pub use balancer::{BalanceObjective, DiffusionBalancer, LoadBalancer, PartitionBalancer};
+pub use composite::{run_composite_with_recovery, CompositeRecoveryReport, CompositeRunSpec};
 pub use controller::{RebalanceController, RebalancePolicy};
 pub use elastic::{FleetError, JobManager, MockJobManager};
 pub use imbalance::load_imbalance;

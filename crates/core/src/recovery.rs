@@ -487,6 +487,7 @@ fn gather_full_state(
         assignment: assignment.clone(),
         layers: all,
         metrics,
+        engine: None,
     }))
 }
 
@@ -530,6 +531,7 @@ pub fn run_resilient(config: &ResilientTrainingConfig) -> Result<ResilientRunRep
             assignment,
             layers,
             metrics,
+            engine: None,
         };
         save_checkpoint(state, &coordinator, &shared)?;
     }
@@ -1174,6 +1176,7 @@ mod tests {
             assignment: StageAssignment::uniform(12, 4),
             layers,
             metrics,
+            engine: None,
         };
         for world in [1, 2, 3, 4, 6] {
             let assignment = coordinator.replan(&state, world);

@@ -46,6 +46,12 @@ pub struct TrainingReport {
     /// Throughput per GPU in tokens/second/GPU (the Figure 4 left axis,
     /// i.e. the performance-per-dollar proxy).
     pub tokens_per_second_per_gpu: f64,
+    /// FNV-1a over the simulated per-iteration trajectory (iteration time,
+    /// tokens, imbalance, assignment).  Deterministic for a given
+    /// configuration and seed — wall-clock measurements are excluded — so
+    /// a recovered run proves bit-identical replay by matching the
+    /// failure-free run's value.
+    pub trajectory_checksum: u64,
 }
 
 impl TrainingReport {
@@ -81,6 +87,7 @@ mod tests {
             final_active_workers: 4,
             gpu_seconds: 4.0,
             tokens_per_second_per_gpu: tps / 4.0,
+            trajectory_checksum: 0,
         }
     }
 

@@ -8,7 +8,7 @@
 //! [`TrainingReport`](crate::report::TrainingReport) carries every quantity
 //! the paper's evaluation section plots.
 
-use dynmo_dynamics::DynamismEngine;
+use dynmo_dynamics::{ComposedEngine, DynamismEngine};
 use dynmo_model::{ClusterConfig, Model};
 use dynmo_pipeline::memory::inflight_microbatches;
 use dynmo_pipeline::{
@@ -94,6 +94,79 @@ struct Checkpointing {
 /// roll back past a bad rebalance, bounded so a paper-scale run does not
 /// accumulate hundreds of snapshots.
 const DEFAULT_KEPT_CHECKPOINTS: usize = 8;
+
+/// Incremental FNV-1a over the per-iteration simulated trajectory: iteration
+/// time, tokens, imbalance, and the layer→stage assignment.  Wall-clock
+/// quantities (the measured balancing-algorithm time) are deliberately
+/// excluded, so the checksum is bit-reproducible across runs and machines —
+/// a recovered run must land on exactly the failure-free run's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TrajectoryHash(dynmo_resilience::Fnv1a);
+
+impl TrajectoryHash {
+    fn new() -> Self {
+        TrajectoryHash(dynmo_resilience::Fnv1a::new())
+    }
+
+    fn from_u64(state: u64) -> Self {
+        TrajectoryHash(dynmo_resilience::Fnv1a::from_state(state))
+    }
+
+    fn value(&self) -> u64 {
+        self.0.state()
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+
+    fn record_iteration(
+        &mut self,
+        iteration: u64,
+        iteration_time: f64,
+        tokens: u64,
+        imbalance: f64,
+        assignment: &StageAssignment,
+    ) {
+        self.push_bytes(&iteration.to_le_bytes());
+        self.push_bytes(&iteration_time.to_bits().to_le_bytes());
+        self.push_bytes(&tokens.to_le_bytes());
+        self.push_bytes(&imbalance.to_bits().to_le_bytes());
+        for &stage in assignment.layer_to_stage() {
+            self.push_bytes(&(stage as u64).to_le_bytes());
+        }
+    }
+}
+
+/// Metric keys the trainer stores in its checkpoints so a resumed run can
+/// restore every accumulator bit-for-bit (f64 values round-trip exactly
+/// through the JSON layer).
+mod metric_keys {
+    pub const TOTAL_TIME: &str = "total_time";
+    pub const TOTAL_TOKENS: &str = "total_tokens";
+    pub const IMBALANCE: &str = "imbalance";
+    pub const IDLENESS_SUM: &str = "idleness_sum";
+    pub const BUBBLE_SUM: &str = "bubble_sum";
+    pub const ACTIVE_WORKER_ITERATIONS: &str = "active_worker_iterations";
+    pub const TRAJECTORY_LO: &str = "trajectory_lo";
+    pub const TRAJECTORY_HI: &str = "trajectory_hi";
+    pub const OV_PROFILING: &str = "overhead_profiling";
+    pub const OV_ALGORITHM: &str = "overhead_algorithm";
+    pub const OV_MIGRATION: &str = "overhead_migration";
+    pub const OV_RECOVERY: &str = "overhead_recovery";
+    pub const OV_REBALANCE_EVENTS: &str = "overhead_rebalance_events";
+    pub const OV_RECOVERY_EVENTS: &str = "overhead_recovery_events";
+    /// Per-sample imbalance-history keys: `imbalance@<iteration>`.
+    pub const IMBALANCE_AT_PREFIX: &str = "imbalance@";
+}
+
+fn read_metric(state: &TrainerState, key: &str) -> Result<f64, String> {
+    state
+        .metrics
+        .get(key)
+        .copied()
+        .ok_or_else(|| format!("checkpoint is missing the '{key}' metric"))
+}
 
 /// The end-to-end training loop.
 pub struct Trainer {
@@ -182,6 +255,51 @@ impl Trainer {
 
     /// Run `engine` for the configured number of iterations and report.
     pub fn run(&mut self, engine: &mut dyn DynamismEngine) -> TrainingReport {
+        self.run_from(engine, None)
+            .expect("a fresh (non-resumed) run cannot fail to start")
+    }
+
+    /// Run an ordered *stack* of dynamism mechanisms acting on the same
+    /// model: the engines are composed (see
+    /// [`ComposedEngine`](dynmo_dynamics::ComposedEngine)), their per-layer
+    /// load updates merged multiplicatively, and the merged multipliers are
+    /// what the profiler — and through it both balancer families — observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is invalid (empty, duplicate mechanisms, nested
+    /// composites) — construct the [`ComposedEngine`] yourself and call
+    /// [`Trainer::run`] to handle that fallibly.
+    pub fn run_stack(&mut self, engines: Vec<Box<dyn DynamismEngine + Send>>) -> TrainingReport {
+        let mut composed = ComposedEngine::new(engines).expect("invalid composite stack");
+        self.run(&mut composed)
+    }
+
+    /// Resume a run from a checkpointed [`TrainerState`]: the engine's
+    /// internal state (every sub-engine's RNG streams and masks, for a
+    /// composed stack) is restored from the snapshot, the assignment,
+    /// active-worker count, and all report accumulators are rewound to the
+    /// checkpoint, and the remaining iterations are replayed.  The replay
+    /// reproduces the original run's simulated trajectory bit-for-bit: the
+    /// resumed report's `trajectory_checksum` equals the failure-free
+    /// run's.
+    ///
+    /// Fails if the snapshot carries no engine state, the engine state does
+    /// not match `engine`, or a resume accumulator is missing (a v1-style
+    /// checkpoint).
+    pub fn resume(
+        &mut self,
+        engine: &mut dyn DynamismEngine,
+        state: &TrainerState,
+    ) -> Result<TrainingReport, String> {
+        self.run_from(engine, Some(state))
+    }
+
+    fn run_from(
+        &mut self,
+        engine: &mut dyn DynamismEngine,
+        resume: Option<&TrainerState>,
+    ) -> Result<TrainingReport, String> {
         let comm = CommCostModel::new(self.config.cluster);
         let simulator = PipelineSimulator::new(comm, self.config.schedule);
         let hybrid = HybridThroughputModel::new(comm, self.config.allreduce_overlap);
@@ -207,8 +325,72 @@ impl Trainer {
         let mut cached_tokens: u64 = 0;
         let mut dirty = true;
         let mut last_imbalance = 0.0f64;
+        let mut trajectory = TrajectoryHash::new();
+        let mut start_iteration = 0u64;
 
-        for iteration in 0..self.config.num_iterations {
+        if let Some(state) = resume {
+            let engine_state = state
+                .engine
+                .as_ref()
+                .ok_or("checkpoint carries no engine state; cannot resume the dynamism stack")?;
+            engine.import_state(engine_state)?;
+            if state.iteration > self.config.num_iterations {
+                return Err(format!(
+                    "checkpoint is at iteration {} but the run only has {}",
+                    state.iteration, self.config.num_iterations
+                ));
+            }
+            // The engine-name check above cannot catch a same-typed engine
+            // on a differently sized model; the assignment shape can.
+            if state.assignment.num_layers() != self.model.num_layers() {
+                return Err(format!(
+                    "checkpoint assignment covers {} layers but the model has {}",
+                    state.assignment.num_layers(),
+                    self.model.num_layers()
+                ));
+            }
+            if state.assignment.num_stages() > self.config.cluster.pipeline_stages {
+                return Err(format!(
+                    "checkpoint assignment uses {} stages but the cluster has {}",
+                    state.assignment.num_stages(),
+                    self.config.cluster.pipeline_stages
+                ));
+            }
+            assignment = state.assignment.clone();
+            active_workers = state.world_size;
+            start_iteration = state.iteration;
+            total_time = read_metric(state, metric_keys::TOTAL_TIME)?;
+            total_tokens = read_metric(state, metric_keys::TOTAL_TOKENS)? as u64;
+            idleness_sum = read_metric(state, metric_keys::IDLENESS_SUM)?;
+            bubble_sum = read_metric(state, metric_keys::BUBBLE_SUM)?;
+            active_worker_iterations = read_metric(state, metric_keys::ACTIVE_WORKER_ITERATIONS)?;
+            last_imbalance = read_metric(state, metric_keys::IMBALANCE)?;
+            let lo = read_metric(state, metric_keys::TRAJECTORY_LO)? as u64;
+            let hi = read_metric(state, metric_keys::TRAJECTORY_HI)? as u64;
+            trajectory = TrajectoryHash::from_u64(lo | (hi << 32));
+            overhead.profiling = read_metric(state, metric_keys::OV_PROFILING)?;
+            overhead.algorithm = read_metric(state, metric_keys::OV_ALGORITHM)?;
+            overhead.migration = read_metric(state, metric_keys::OV_MIGRATION)?;
+            overhead.recovery = read_metric(state, metric_keys::OV_RECOVERY)?;
+            overhead.rebalance_events =
+                read_metric(state, metric_keys::OV_REBALANCE_EVENTS)? as u64;
+            overhead.recovery_events = read_metric(state, metric_keys::OV_RECOVERY_EVENTS)? as u64;
+            let mut samples: Vec<(u64, f64)> = state
+                .metrics
+                .iter()
+                .filter_map(|(key, &value)| {
+                    key.strip_prefix(metric_keys::IMBALANCE_AT_PREFIX)
+                        .and_then(|it| it.parse::<u64>().ok())
+                        .map(|it| (it, value))
+                })
+                .collect();
+            samples.sort_by_key(|&(it, _)| it);
+            for (it, value) in samples {
+                imbalance_history.record(it, value);
+            }
+        }
+
+        for iteration in start_iteration..self.config.num_iterations {
             self.job_manager.set_iteration(iteration);
             let update = engine.step(iteration);
             if update.changed || loads.is_empty() {
@@ -296,12 +478,23 @@ impl Trainer {
             bubble_sum += cached_bubble;
             active_worker_iterations += active_workers as f64;
             last_imbalance = cached_imbalance;
+            trajectory.record_iteration(
+                iteration,
+                cached_iteration_time,
+                cached_tokens,
+                cached_imbalance,
+                &assignment,
+            );
             if iteration % 100 == 0 {
                 imbalance_history.record(iteration, cached_imbalance);
             }
 
-            // Periodic checkpoint: snapshot the restorable state and charge
-            // the simulated write into the recovery overhead bucket.
+            // Periodic checkpoint: snapshot the restorable state — layer
+            // loads, the dynamism stack's engine state, and every report
+            // accumulator — and charge the simulated write into the
+            // recovery overhead bucket.  The write cost is charged *before*
+            // the accumulators are captured, so a resumed run's totals
+            // include this write exactly as the original run's do.
             if let Some(checkpointing) = &mut self.checkpointing {
                 if (iteration + 1).is_multiple_of(checkpointing.interval) {
                     let layers: Vec<LayerState> = loads
@@ -315,34 +508,70 @@ impl Trainer {
                             rng_state: 0,
                         })
                         .collect();
-                    let mut metrics = std::collections::BTreeMap::new();
-                    metrics.insert("imbalance".to_string(), cached_imbalance);
-                    metrics.insert("total_time".to_string(), total_time);
-                    metrics.insert("total_tokens".to_string(), total_tokens as f64);
-                    let state = TrainerState {
+                    let mut state = TrainerState {
                         iteration: iteration + 1,
                         world_size: active_workers,
                         assignment: assignment.clone(),
                         layers,
-                        metrics,
+                        metrics: std::collections::BTreeMap::new(),
+                        engine: Some(engine.export_state()),
                     };
+                    // Cost is priced on the payload (layers + assignment +
+                    // engine state); the resume metrics below are a few
+                    // dozen scalars and are deliberately excluded so the
+                    // price does not depend on bookkeeping size.  The
+                    // snapshot carries the *post-charge* totals (so a
+                    // resumed run's accumulators include this write exactly
+                    // as the original run's do), but the accumulators are
+                    // only committed once the save lands — a failed save
+                    // stays free, as before.
+                    let cost = checkpointing.cost_model.write_cost(state.size_bytes());
+                    let charged_total_time = total_time + cost;
+                    let mut charged_overhead = overhead;
+                    charged_overhead.record_recovery(cost);
+                    let metrics = &mut state.metrics;
+                    metrics.insert(metric_keys::IMBALANCE.into(), cached_imbalance);
+                    metrics.insert(metric_keys::TOTAL_TIME.into(), charged_total_time);
+                    metrics.insert(metric_keys::TOTAL_TOKENS.into(), total_tokens as f64);
+                    metrics.insert(metric_keys::IDLENESS_SUM.into(), idleness_sum);
+                    metrics.insert(metric_keys::BUBBLE_SUM.into(), bubble_sum);
+                    metrics.insert(
+                        metric_keys::ACTIVE_WORKER_ITERATIONS.into(),
+                        active_worker_iterations,
+                    );
+                    let hash = trajectory.value();
+                    metrics.insert(
+                        metric_keys::TRAJECTORY_LO.into(),
+                        (hash & 0xFFFF_FFFF) as f64,
+                    );
+                    metrics.insert(metric_keys::TRAJECTORY_HI.into(), (hash >> 32) as f64);
+                    metrics.insert(metric_keys::OV_PROFILING.into(), charged_overhead.profiling);
+                    metrics.insert(metric_keys::OV_ALGORITHM.into(), charged_overhead.algorithm);
+                    metrics.insert(metric_keys::OV_MIGRATION.into(), charged_overhead.migration);
+                    metrics.insert(metric_keys::OV_RECOVERY.into(), charged_overhead.recovery);
+                    metrics.insert(
+                        metric_keys::OV_REBALANCE_EVENTS.into(),
+                        charged_overhead.rebalance_events as f64,
+                    );
+                    metrics.insert(
+                        metric_keys::OV_RECOVERY_EVENTS.into(),
+                        charged_overhead.recovery_events as f64,
+                    );
+                    for &(it, value) in imbalance_history.samples() {
+                        metrics.insert(format!("{}{it}", metric_keys::IMBALANCE_AT_PREFIX), value);
+                    }
                     match Checkpoint::new(state) {
-                        Ok(checkpoint) => {
-                            let cost = checkpointing
-                                .cost_model
-                                .write_cost(checkpoint.state.size_bytes());
-                            match checkpointing.store.save(&checkpoint) {
-                                Ok(()) => {
-                                    checkpointing.store.retain_last(checkpointing.keep);
-                                    overhead.record_recovery(cost);
-                                    total_time += cost;
-                                }
-                                Err(err) => eprintln!(
-                                    "warning: checkpoint at iteration {} not saved: {err}",
-                                    iteration + 1
-                                ),
+                        Ok(checkpoint) => match checkpointing.store.save(&checkpoint) {
+                            Ok(()) => {
+                                checkpointing.store.retain_last(checkpointing.keep);
+                                overhead = charged_overhead;
+                                total_time = charged_total_time;
                             }
-                        }
+                            Err(err) => eprintln!(
+                                "warning: checkpoint at iteration {} not saved: {err}",
+                                iteration + 1
+                            ),
+                        },
                         Err(err) => eprintln!(
                             "warning: checkpoint at iteration {} not taken: {err}",
                             iteration + 1
@@ -362,7 +591,7 @@ impl Trainer {
         let gpu_seconds =
             average_active_workers * self.config.cluster.data_parallel as f64 * total_time;
         let total_gpus_now = active_workers * self.config.cluster.data_parallel;
-        TrainingReport {
+        Ok(TrainingReport {
             balancer: self.controller.name(),
             dynamism: engine.name(),
             iterations,
@@ -384,7 +613,8 @@ impl Trainer {
             } else {
                 0.0
             },
-        }
+            trajectory_checksum: trajectory.value(),
+        })
     }
 }
 
@@ -591,6 +821,122 @@ mod tests {
             );
             assert!(report.tokens_per_second >= base.tokens_per_second);
             assert_eq!(report.total_tokens, base.total_tokens);
+        }
+    }
+
+    #[test]
+    fn composite_stack_threads_through_the_trainer() {
+        // A pruning + freezing + early-exit stack must run end-to-end, and
+        // its merged load (strictly below any single mechanism's) must not
+        // break the balancer/simulator path.  Identical stacks produce
+        // identical trajectories.
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let stack = || -> Vec<Box<dyn DynamismEngine + Send>> {
+            let schedule = PruningSchedule {
+                initial_sparsity: 0.0,
+                final_sparsity: 0.9,
+                start_iteration: 20,
+                frequency: 20,
+                num_steps: 3,
+            };
+            vec![
+                Box::new(GradualPruningEngine::new(&model, schedule, 5)),
+                Box::new(FreezingEngine::new(
+                    &model,
+                    FreezingPolicy {
+                        check_interval: 10,
+                        first_freeze_iteration: 20,
+                        stagger_per_layer: 4,
+                        never_freeze_fraction: 0.25,
+                        jitter: 0.1,
+                    },
+                    6,
+                )),
+                Box::new(EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7)),
+            ]
+        };
+        let run = || {
+            let mut trainer = Trainer::new(model.clone(), config(4, 80), dynamic_controller());
+            trainer.run_stack(stack())
+        };
+        let a = run();
+        let b = run();
+        assert!(a.dynamism.starts_with("composite["));
+        assert!(a.total_tokens > 0);
+        assert!(a.rebalance_events > 0);
+        assert_eq!(a.trajectory_checksum, b.trajectory_checksum);
+        assert_eq!(a.total_tokens, b.total_tokens);
+    }
+
+    #[test]
+    fn resume_rejects_checkpoints_without_engine_state() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut trainer = Trainer::new(model.clone(), config(4, 60), dynamic_controller());
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        let state = dynmo_resilience::TrainerState {
+            iteration: 20,
+            world_size: 4,
+            assignment: StageAssignment::uniform(26, 4),
+            layers: Vec::new(),
+            metrics: std::collections::BTreeMap::new(),
+            engine: None,
+        };
+        let err = trainer.resume(&mut engine, &state).unwrap_err();
+        assert!(err.contains("no engine state"), "error: {err}");
+    }
+
+    #[test]
+    fn resume_rejects_checkpoints_from_a_differently_shaped_model() {
+        // A same-typed engine on a differently sized model passes the
+        // engine-name check; the assignment shape guard must catch it with
+        // an Err instead of panicking deep in the loop.
+        let small = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut donor = Trainer::new(small.clone(), config(4, 40), dynamic_controller())
+            .with_checkpointing(Box::new(dynmo_resilience::MemoryCheckpointStore::new()), 20);
+        let mut engine = EarlyExitEngine::new(&small, EarlyExitMethod::Calm, 3);
+        donor.run(&mut engine);
+        let state = donor
+            .checkpoint_store()
+            .unwrap()
+            .latest()
+            .unwrap()
+            .unwrap()
+            .verify()
+            .unwrap()
+            .clone();
+
+        let large = Model::from_preset(ModelPreset::Gpt { layers: 32 });
+        let mut trainer = Trainer::new(large.clone(), config(4, 40), dynamic_controller());
+        let mut engine = EarlyExitEngine::new(&large, EarlyExitMethod::Calm, 3);
+        let err = trainer.resume(&mut engine, &state).unwrap_err();
+        assert!(err.contains("layers"), "error: {err}");
+    }
+
+    #[test]
+    fn checkpoints_now_carry_the_engine_state() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut trainer = Trainer::new(model.clone(), config(4, 40), dynamic_controller())
+            .with_checkpointing(Box::new(dynmo_resilience::MemoryCheckpointStore::new()), 20);
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        trainer.run(&mut engine);
+        let latest = trainer
+            .checkpoint_store()
+            .unwrap()
+            .latest()
+            .unwrap()
+            .unwrap();
+        let state = latest.verify().unwrap();
+        let engine_state = state.engine.as_ref().expect("engine state captured");
+        assert_eq!(engine_state.name, engine.name());
+        assert_eq!(engine_state.rng_streams.len(), 1);
+        // Resume accumulators are present.
+        for key in [
+            "total_time",
+            "idleness_sum",
+            "trajectory_lo",
+            "trajectory_hi",
+        ] {
+            assert!(state.metrics.contains_key(key), "missing metric {key}");
         }
     }
 

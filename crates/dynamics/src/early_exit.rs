@@ -17,7 +17,10 @@ use crate::rng::Prng;
 use dynmo_model::Model;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
+
+/// Snapshot layout version of [`EarlyExitEngine`]'s engine state.
+const EARLY_EXIT_STATE_VERSION: u32 = 1;
 
 /// Which early-exit method's exit aggressiveness to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -140,6 +143,22 @@ impl DynamismEngine for EarlyExitEngine {
         // Paper Figure 4 overhead table: early exit rebalances every ~100
         // iterations.
         RebalanceFrequency::EveryN(100)
+    }
+
+    fn export_state(&self) -> EngineState {
+        let mut state = EngineState::stateless(self.name(), EARLY_EXIT_STATE_VERSION);
+        state.rng_streams = vec![self.rng.state()];
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), EARLY_EXIT_STATE_VERSION)?;
+        if state.rng_streams.len() != 1 {
+            return Err("early-exit state must carry exactly one RNG stream".into());
+        }
+        self.rng = Prng::from_state(state.rng_streams[0]);
+        self.last_survival.clear();
+        Ok(())
     }
 }
 

@@ -24,6 +24,11 @@ pub enum DynamismCase {
     EarlyExit,
     /// §2.6 Mixture of Depths.
     MixtureOfDepths,
+    /// Several mechanisms stacked in one model (e.g. an MoE that is also
+    /// gradually pruned and freezes converged layers); see
+    /// [`crate::compose::ComposedEngine`].  Not part of
+    /// [`DynamismCase::ALL`], which enumerates the paper's six base cases.
+    Composite,
 }
 
 impl DynamismCase {
@@ -46,7 +51,69 @@ impl DynamismCase {
             DynamismCase::SparseAttention => "Dynamic Sparse Attention",
             DynamismCase::EarlyExit => "Early Exit",
             DynamismCase::MixtureOfDepths => "Mixture of Depths",
+            DynamismCase::Composite => "Composite",
         }
+    }
+}
+
+/// A serializable snapshot of one engine's mutable state — every RNG stream
+/// position, mask, counter, and scalar the engine mutates while stepping —
+/// so a checkpointed training run can rebuild the engine mid-trajectory and
+/// replay the exact same dynamism the original run produced.
+///
+/// Each engine versions its own snapshot layout independently (the
+/// `version` field), so a composed stack can evolve one mechanism's state
+/// format without invalidating checkpoints of the others.  Composite
+/// engines nest their sub-engines' snapshots in `children`, in stack order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// The owning engine's `name()` at export time; imports are rejected if
+    /// the restoring engine's name differs (wrong engine or wrong config).
+    pub name: String,
+    /// Layout version of this engine's snapshot fields.
+    pub version: u32,
+    /// RNG stream positions (SplitMix64 states), in engine-defined order.
+    pub rng_streams: Vec<u64>,
+    /// Boolean masks (frozen flags, pruning masks), engine-defined order.
+    pub flags: Vec<bool>,
+    /// Integer counters (e.g. the last applied pruning step).
+    pub counters: Vec<u64>,
+    /// Scalar state (e.g. the sparsity currently in effect).
+    pub scalars: Vec<f64>,
+    /// Nested sub-engine snapshots (composite engines only).
+    pub children: Vec<EngineState>,
+}
+
+impl EngineState {
+    /// A snapshot with no mutable state, for engines that derive everything
+    /// from the iteration counter.
+    pub fn stateless(name: String, version: u32) -> Self {
+        EngineState {
+            name,
+            version,
+            rng_streams: Vec::new(),
+            flags: Vec::new(),
+            counters: Vec::new(),
+            scalars: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Check the snapshot belongs to engine `name` at layout `version`.
+    pub fn check(&self, name: &str, version: u32) -> Result<(), String> {
+        if self.name != name {
+            return Err(format!(
+                "engine state for '{}' cannot restore engine '{name}'",
+                self.name
+            ));
+        }
+        if self.version != version {
+            return Err(format!(
+                "engine '{name}' expects state version {version}, found {}",
+                self.version
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +245,21 @@ pub trait DynamismEngine {
     fn extra_overhead(&self, _iteration: u64) -> f64 {
         0.0
     }
+
+    /// Export the engine's mutable state for checkpointing.  The default is
+    /// a stateless snapshot — correct only for engines whose `step` output
+    /// is a pure function of the iteration counter; every stateful engine
+    /// overrides this.
+    fn export_state(&self) -> EngineState {
+        EngineState::stateless(self.name(), 0)
+    }
+
+    /// Restore the engine to a previously exported state.  Must be given a
+    /// snapshot produced by `export_state` on an engine with the same
+    /// `name()`; the default accepts only the stateless snapshot shape.
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), 0)
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +318,17 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             DynamismCase::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), DynamismCase::ALL.len());
+        // Composite is deliberately excluded from the six base cases.
+        assert!(!DynamismCase::ALL.contains(&DynamismCase::Composite));
+        assert_eq!(DynamismCase::Composite.label(), "Composite");
+    }
+
+    #[test]
+    fn engine_state_check_rejects_wrong_name_and_version() {
+        let state = EngineState::stateless("moe/s-base".to_string(), 1);
+        assert!(state.check("moe/s-base", 1).is_ok());
+        assert!(state.check("moe/aux-loss", 1).is_err());
+        assert!(state.check("moe/s-base", 2).is_err());
+        assert!(state.rng_streams.is_empty() && state.children.is_empty());
     }
 }

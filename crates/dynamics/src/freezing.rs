@@ -16,7 +16,10 @@ use crate::rng::Prng;
 use dynmo_model::Model;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
+
+/// Snapshot layout version of [`FreezingEngine`]'s engine state.
+const FREEZING_STATE_VERSION: u32 = 1;
 
 /// Configuration of the freezing behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -161,6 +164,27 @@ impl DynamismEngine for FreezingEngine {
         // Paper Figure 4 (overhead table): layer freezing rebalances every
         // ~300 iterations.
         RebalanceFrequency::EveryN(300)
+    }
+
+    fn export_state(&self) -> EngineState {
+        // Freeze iterations are reproduced from the seed at construction;
+        // the frozen mask is the mutable state.
+        let mut state = EngineState::stateless(self.name(), FREEZING_STATE_VERSION);
+        state.flags = self.frozen.clone();
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), FREEZING_STATE_VERSION)?;
+        if state.flags.len() != self.frozen.len() {
+            return Err(format!(
+                "freezing state covers {} layers, engine has {}",
+                state.flags.len(),
+                self.frozen.len()
+            ));
+        }
+        self.frozen.copy_from_slice(&state.flags);
+        Ok(())
     }
 }
 

@@ -23,9 +23,19 @@
 //! implements explicitly: Algorithm 1 (global magnitude pruning via gather /
 //! scatter over ranks) runs on the `dynmo-runtime` fabric in
 //! [`pruning::distributed_global_prune`].
+//!
+//! Mechanisms also *stack*: [`compose::ComposedEngine`] drives an ordered
+//! set of engines against the same model and merges their `LoadUpdate`s
+//! multiplicatively (frozen layers stay frozen, token-dropping shrinks each
+//! boundary exactly once), opening the combined-mechanism scenario space —
+//! an MoE model that is also gradually pruned and freezes converged layers.
+//! Every engine can export/import an [`engine::EngineState`] snapshot (RNG
+//! stream positions, masks, counters), so checkpointed runs restore each
+//! sub-engine's state independently and replay bit-for-bit.
 
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod early_exit;
 pub mod engine;
 pub mod freezing;
@@ -36,8 +46,9 @@ pub mod rng;
 pub mod sparse_attention;
 pub mod workload;
 
+pub use compose::{merge_updates, validate_composed, ComposedEngine};
 pub use early_exit::{EarlyExitEngine, EarlyExitMethod};
-pub use engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+pub use engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
 pub use freezing::{FreezingEngine, FreezingPolicy};
 pub use mod_router::{MixtureOfDepthsEngine, ModConfig};
 pub use moe::{MoeEngine, RoutingStrategy};

@@ -16,7 +16,10 @@ use crate::rng::Prng;
 use dynmo_model::{CostModel, Model};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
+
+/// Snapshot layout version of [`MixtureOfDepthsEngine`]'s engine state.
+const MOD_STATE_VERSION: u32 = 1;
 
 /// Configuration of the Mixture-of-Depths routing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -155,6 +158,22 @@ impl DynamismEngine for MixtureOfDepthsEngine {
 
     fn rebalance_frequency(&self) -> RebalanceFrequency {
         RebalanceFrequency::EveryIteration
+    }
+
+    fn export_state(&self) -> EngineState {
+        let mut state = EngineState::stateless(self.name(), MOD_STATE_VERSION);
+        state.rng_streams = vec![self.rng.state()];
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), MOD_STATE_VERSION)?;
+        if state.rng_streams.len() != 1 {
+            return Err("MoD state must carry exactly one RNG stream".into());
+        }
+        self.rng = Prng::from_state(state.rng_streams[0]);
+        self.last_fraction.clear();
+        Ok(())
     }
 }
 

@@ -16,8 +16,11 @@
 use dynmo_model::{CostModel, Model};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
 use crate::workload::{max_over_mean, TokenStreamGenerator};
+
+/// Snapshot layout version of [`MoeEngine`]'s engine state.
+const MOE_STATE_VERSION: u32 = 1;
 
 /// The token→expert routing strategy being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -161,6 +164,31 @@ impl DynamismEngine for MoeEngine {
 
     fn rebalance_frequency(&self) -> RebalanceFrequency {
         RebalanceFrequency::EveryIteration
+    }
+
+    fn export_state(&self) -> EngineState {
+        // The routing trajectory is fully determined by the per-layer token
+        // generators' RNG stream positions (their popularity profiles are
+        // reproduced from the seed at construction and never reshuffled).
+        let mut state = EngineState::stateless(self.name(), MOE_STATE_VERSION);
+        state.rng_streams = self.generators.iter().map(|g| g.rng_state()).collect();
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), MOE_STATE_VERSION)?;
+        if state.rng_streams.len() != self.generators.len() {
+            return Err(format!(
+                "MoE state carries {} generator streams, engine has {}",
+                state.rng_streams.len(),
+                self.generators.len()
+            ));
+        }
+        for (generator, &rng_state) in self.generators.iter_mut().zip(&state.rng_streams) {
+            generator.set_rng_state(rng_state);
+        }
+        self.last_counts.clear();
+        Ok(())
     }
 }
 

@@ -22,7 +22,10 @@ use dynmo_runtime::{Communicator, Payload, Result as RtResult};
 use dynmo_sparse::{top_k_magnitudes, KernelCostModel, SpmmBackend};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
+
+/// Snapshot layout version of [`GradualPruningEngine`]'s engine state.
+const PRUNING_STATE_VERSION: u32 = 1;
 
 /// The gradual pruning schedule of Zhu & Gupta (Eq. 3 of the paper):
 /// `S_t = S_f + (S_i − S_f)·(1 − (t − t0)/(n·Δt))³` for
@@ -326,6 +329,29 @@ impl DynamismEngine for GradualPruningEngine {
 
     fn rebalance_frequency(&self) -> RebalanceFrequency {
         RebalanceFrequency::EveryN(self.schedule.frequency)
+    }
+
+    fn export_state(&self) -> EngineState {
+        // The magnitude-scale profile is reproduced from the seed at
+        // construction; the mutable state is the sparsity in effect and the
+        // most recent applied pruning step (u64::MAX encodes "none yet").
+        let mut state = EngineState::stateless(self.name(), PRUNING_STATE_VERSION);
+        state.scalars = vec![self.current_sparsity];
+        state.counters = vec![self.last_pruning_step.unwrap_or(u64::MAX)];
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), PRUNING_STATE_VERSION)?;
+        if state.scalars.len() != 1 || state.counters.len() != 1 {
+            return Err("pruning state must carry one scalar and one counter".into());
+        }
+        self.current_sparsity = state.scalars[0];
+        self.last_pruning_step = match state.counters[0] {
+            u64::MAX => None,
+            step => Some(step),
+        };
+        Ok(())
     }
 }
 

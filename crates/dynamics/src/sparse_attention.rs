@@ -17,7 +17,10 @@ use crate::rng::Prng;
 use dynmo_model::{CostModel, Model};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DynamismCase, DynamismEngine, LoadUpdate, RebalanceFrequency};
+use crate::engine::{DynamismCase, DynamismEngine, EngineState, LoadUpdate, RebalanceFrequency};
+
+/// Snapshot layout version of [`SparseAttentionEngine`]'s engine state.
+const SPARSE_ATTENTION_STATE_VERSION: u32 = 1;
 
 /// Whether the attention is dense or dynamically sparsified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -126,6 +129,24 @@ impl DynamismEngine for SparseAttentionEngine {
     fn rebalance_frequency(&self) -> RebalanceFrequency {
         // Paper Figure 4 overhead table: "(Ideally) every iteration".
         RebalanceFrequency::EveryIteration
+    }
+
+    fn export_state(&self) -> EngineState {
+        // The base-density profile is reproduced from the seed at
+        // construction; the per-iteration noise stream is the mutable state.
+        let mut state = EngineState::stateless(self.name(), SPARSE_ATTENTION_STATE_VERSION);
+        state.rng_streams = vec![self.rng.state()];
+        state
+    }
+
+    fn import_state(&mut self, state: &EngineState) -> Result<(), String> {
+        state.check(&self.name(), SPARSE_ATTENTION_STATE_VERSION)?;
+        if state.rng_streams.len() != 1 {
+            return Err("sparse-attention state must carry exactly one RNG stream".into());
+        }
+        self.rng = Prng::from_state(state.rng_streams[0]);
+        self.last_density.clear();
+        Ok(())
     }
 }
 

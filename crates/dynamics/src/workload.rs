@@ -97,6 +97,19 @@ impl TokenStreamGenerator {
     pub fn reshuffle_popularity(&mut self) {
         self.popularity = Self::sample_popularity(self.num_experts, self.skew, &mut self.rng);
     }
+
+    /// The generator's RNG stream position, for checkpointing.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rewind the generator's RNG stream to a position captured with
+    /// [`TokenStreamGenerator::rng_state`] (checkpoint restore).  The
+    /// stationary popularity is reproduced by construction from the seed,
+    /// so the stream position is the only mutable state.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = Prng::from_state(state);
+    }
 }
 
 /// `max / mean` of a count vector — the per-layer load-amplification factor

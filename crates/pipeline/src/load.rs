@@ -137,10 +137,39 @@ pub fn aggregate_stage_loads(
     stages
 }
 
+/// Per-stage boundary retention from a per-layer token-retention profile:
+/// a stage hands downstream the residual stream of its *last* layer, so its
+/// boundary carries that layer's retention.  Stages hosting no layers stay
+/// at 1.0 (they pass the incoming tensor through unchanged).
+///
+/// The profile may come from a single mechanism or from a composed stack's
+/// *merged* update (the element-wise product of the sub-engines'
+/// retentions) — either way it is applied to the boundary exactly once
+/// here, so stacked token-dropping mechanisms never double-shrink a wire.
+pub fn boundary_retention_profile(
+    layer_to_stage: &[usize],
+    token_retention: &[f64],
+    num_stages: usize,
+) -> Vec<f64> {
+    assert_eq!(
+        token_retention.len(),
+        layer_to_stage.len(),
+        "one retention value per layer"
+    );
+    let mut retention = vec![1.0f64; num_stages];
+    for (layer, &stage) in layer_to_stage.iter().enumerate() {
+        assert!(stage < num_stages, "stage index {stage} out of range");
+        // Layers arrive in id order, so the last write per stage wins —
+        // exactly the stage's boundary layer.
+        retention[stage] = token_retention[layer].clamp(0.0, 1.0);
+    }
+    retention
+}
+
 /// Size every stage's outgoing boundary tensor from a per-layer
-/// token-retention profile: a stage hands downstream the residual stream of
-/// its *last* layer, so its boundary is `flat_boundary_bytes` scaled by
-/// that layer's retention.  Layerless stages are left at 0 (the flat
+/// token-retention profile (see [`boundary_retention_profile`]): each
+/// stage's boundary is `flat_boundary_bytes` scaled by its boundary
+/// layer's retention.  Layerless stages are left at 0 (the flat
 /// passthrough default).  `token_retention` comes from the dynamism
 /// engine's `LoadUpdate`; an all-ones profile sets every boundary to the
 /// flat tensor — the same cost the 0 default prices.
@@ -150,17 +179,16 @@ pub fn apply_boundary_sizes(
     token_retention: &[f64],
     flat_boundary_bytes: u64,
 ) {
-    assert_eq!(
-        token_retention.len(),
-        layer_to_stage.len(),
-        "one retention value per layer"
+    assert!(
+        layer_to_stage.iter().all(|&s| s < stages.len()),
+        "stage index out of range"
     );
-    for (layer, &stage) in layer_to_stage.iter().enumerate() {
-        assert!(stage < stages.len(), "stage index {stage} out of range");
-        // Layers arrive in id order, so the last write per stage wins —
-        // exactly the stage's boundary layer.
-        stages[stage].boundary_bytes =
-            (flat_boundary_bytes as f64 * token_retention[layer].clamp(0.0, 1.0)) as u64;
+    let retention = boundary_retention_profile(layer_to_stage, token_retention, stages.len());
+    for (stage, load) in stages.iter_mut().enumerate() {
+        if load.is_empty() {
+            continue; // released stage: keep the 0 passthrough default
+        }
+        load.boundary_bytes = (flat_boundary_bytes as f64 * retention[stage]) as u64;
     }
 }
 
@@ -247,6 +275,17 @@ mod tests {
         apply_boundary_sizes(&mut stages, &layer_to_stage, &[1.0; 4], 1_000);
         assert_eq!(stages[0].boundary_bytes, 1_000);
         assert_eq!(stages[1].boundary_bytes, 1_000);
+    }
+
+    #[test]
+    fn boundary_retention_profile_takes_each_stages_last_layer() {
+        let layer_to_stage = [0, 0, 1, 1];
+        // A composed (non-monotone) retention product: MoD keeps 1.0 while
+        // early exit shrinks — the profile must follow the merged values,
+        // clamped into [0, 1].
+        let retention = [1.0, 0.7, 1.2, 0.35];
+        let profile = boundary_retention_profile(&layer_to_stage, &retention, 3);
+        assert_eq!(profile, vec![0.7, 0.35, 1.0]);
     }
 
     #[test]

@@ -11,12 +11,18 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use dynmo_dynamics::EngineState;
 use dynmo_pipeline::StageAssignment;
 use serde::{Deserialize, Serialize};
 
 /// Current checkpoint format version.  Bump on any incompatible change to
 /// [`TrainerState`]'s serialized shape.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// * v1 — assignment, per-layer proxies, metrics.
+/// * v2 — adds the optional `engine` snapshot: the dynamism stack's own
+///   state (each sub-engine's RNG streams and masks versioned
+///   independently), so composite runs replay bit-for-bit after recovery.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Errors raised by checkpoint creation, validation, and the stores.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +131,11 @@ pub struct TrainerState {
     /// Scalar training metrics carried across recovery (loss, imbalance,
     /// tokens processed, ...), keyed by metric name.
     pub metrics: BTreeMap<String, f64>,
+    /// Snapshot of the dynamism engine (or composed stack) driving the run:
+    /// every sub-engine's RNG stream positions, masks, and counters, each
+    /// versioned independently.  `None` for runs that restore the model
+    /// state only (the v1 behaviour).
+    pub engine: Option<EngineState>,
 }
 
 impl TrainerState {
@@ -185,8 +196,21 @@ impl TrainerState {
         self.layers.iter().map(LayerState::size_bytes).sum::<u64>()
             + (self.assignment.num_layers() * 8) as u64
             + (self.metrics.len() * 16) as u64
+            + self.engine.as_ref().map_or(0, engine_state_bytes)
             + 64
     }
+}
+
+/// Approximate serialized size of an engine snapshot (recursing into a
+/// composite stack's children).
+fn engine_state_bytes(state: &EngineState) -> u64 {
+    (state.name.len()
+        + state.rng_streams.len() * 8
+        + state.flags.len()
+        + state.counters.len() * 8
+        + state.scalars.len() * 8
+        + 16) as u64
+        + state.children.iter().map(engine_state_bytes).sum::<u64>()
 }
 
 /// A versioned, checksummed [`TrainerState`] snapshot.
@@ -250,15 +274,54 @@ impl Checkpoint {
     }
 }
 
+/// Incremental FNV-1a writer — the streaming form of [`fnv1a`], for
+/// consumers (the trainer's trajectory checksum) that hash across many
+/// calls and checkpoint the running state in between.  Keeping the
+/// constants in one place means every subsystem's "bit-identical" claim is
+/// backed by the same primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A writer at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Rebuild a writer at a running state captured with [`Fnv1a::state`]
+    /// (checkpoint restore).
+    pub fn from_state(state: u64) -> Self {
+        Fnv1a(state)
+    }
+
+    /// Fold `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The current hash value / resumable running state.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// FNV-1a over a byte stream — the checksum primitive shared by the
 /// checkpoint subsystem and the recovery harness in `dynmo-core`.
 pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = Fnv1a::new();
     for byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x100_0000_01b3);
+        hash.write(&[byte]);
     }
-    hash
+    hash.state()
 }
 
 /// FNV-1a over the canonical (compact) JSON serialization of the state.
@@ -343,6 +406,7 @@ mod tests {
             assignment: StageAssignment::uniform(num_layers, stages),
             layers,
             metrics,
+            engine: None,
         }
     }
 

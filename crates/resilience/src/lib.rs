@@ -27,7 +27,7 @@ pub mod checkpoint;
 pub mod store;
 
 pub use checkpoint::{
-    fnv1a, Checkpoint, CheckpointCostModel, CheckpointError, LayerState, TrainerState,
+    fnv1a, Checkpoint, CheckpointCostModel, CheckpointError, Fnv1a, LayerState, TrainerState,
     CHECKPOINT_VERSION,
 };
 pub use store::{CheckpointStore, DiskCheckpointStore, MemoryCheckpointStore};

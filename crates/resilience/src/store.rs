@@ -209,6 +209,7 @@ mod tests {
                 })
                 .collect(),
             metrics: BTreeMap::new(),
+            engine: None,
         }
     }
 

@@ -46,6 +46,7 @@ fn build_state(
         assignment: StageAssignment::uniform(num_layers, stages),
         layers,
         metrics: named,
+        engine: None,
     }
 }
 

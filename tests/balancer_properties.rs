@@ -292,4 +292,65 @@ proptest! {
             assignment = outcome.assignment;
         }
     }
+
+    /// The O(p) incremental potential update is bit-equal to the O(p²)
+    /// full recompute whenever the loads are exactly representable
+    /// (integer-valued f64s keep every sum and difference exact), for any
+    /// move of any weight between any two stages.
+    #[test]
+    fn incremental_potential_is_bit_equal_to_full_recompute(
+        loads in prop::collection::vec(0u32..10_000, 2..64),
+        from_index in 0usize..64,
+        to_index in 0usize..64,
+        weight in 0u32..5_000,
+    ) {
+        let loads: Vec<f64> = loads.into_iter().map(f64::from).collect();
+        let from = from_index % loads.len();
+        // The shim has no prop_assume: fold the degenerate from == to case
+        // into a neighbouring pair instead of skipping it.
+        let to = if to_index % loads.len() == from {
+            (from + 1) % loads.len()
+        } else {
+            to_index % loads.len()
+        };
+        let phi = dynmo::core::balancer::diffusion::potential(&loads);
+        let w = f64::from(weight);
+        let incremental =
+            dynmo::core::balancer::diffusion::potential_after_move(&loads, phi, from, to, w);
+        let mut moved = loads.clone();
+        moved[from] -= w;
+        moved[to] += w;
+        let full = dynmo::core::balancer::diffusion::potential(&moved);
+        prop_assert_eq!(
+            incremental.to_bits(),
+            full.to_bits(),
+            "incremental {} vs full {}",
+            incremental,
+            full
+        );
+    }
+
+    /// The incremental-potential fast path commits exactly the moves the
+    /// legacy full-recompute path commits: identical assignments, round
+    /// counts, and bottlenecks on arbitrary workloads.
+    #[test]
+    fn diffusion_incremental_path_matches_full_path(
+        times in arbitrary_times(),
+        stages in 2usize..12,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let current = StageAssignment::uniform(loads.len(), stages);
+        let request = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current);
+        let incremental = DiffusionBalancer::new().rebalance(&request);
+        let full = DiffusionBalancer {
+            use_incremental_potential: false,
+            ..DiffusionBalancer::new()
+        }
+        .rebalance(&request);
+        prop_assert_eq!(incremental.assignment, full.assignment);
+        prop_assert_eq!(incremental.rounds, full.rounds);
+        prop_assert_eq!(incremental.bottleneck.to_bits(), full.bottleneck.to_bits());
+    }
 }

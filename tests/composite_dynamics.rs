@@ -1,0 +1,298 @@
+//! Property tests for the composite dynamics engine: merge algebra,
+//! order-independence of commuting mechanisms, and checkpoint → restore →
+//! replay determinism for a 3-mechanism stack under a mid-run kill.
+
+use dynmo::core::balancer::{BalanceObjective, DiffusionBalancer, PartitionBalancer};
+use dynmo::core::composite::{run_composite_with_recovery, CompositeRunSpec};
+use dynmo::core::controller::{RebalanceController, RebalancePolicy};
+use dynmo::core::trainer::TrainerConfig;
+use dynmo::dynamics::rng::Prng;
+use dynmo::dynamics::{
+    merge_updates, AttentionMode, ComposedEngine, DynamismEngine, EarlyExitEngine, EarlyExitMethod,
+    FreezingEngine, FreezingPolicy, GradualPruningEngine, LoadUpdate, MoeEngine, PruningSchedule,
+    RoutingStrategy, SparseAttentionEngine,
+};
+use dynmo::model::{ClusterConfig, DeviceSpec, Model, ModelPreset};
+use dynmo::pipeline::ScheduleKind;
+use proptest::prelude::*;
+
+/// One structurally valid pseudo-random `LoadUpdate` over `n` layers:
+/// compute scales in [0, 3] with occasional exact zeros (frozen layers),
+/// memory scales in [0, 2], retentions in [0, 1].
+fn random_update(rng: &mut Prng, n: usize) -> LoadUpdate {
+    let mut scale = |zero_chance: f64, max: f64| -> f64 {
+        if rng.next_f64() < zero_chance {
+            0.0
+        } else {
+            rng.next_f64() * max
+        }
+    };
+    let fwd_scale: Vec<f64> = (0..n).map(|_| scale(0.1, 3.0)).collect();
+    let bwd_scale: Vec<f64> = (0..n).map(|_| scale(0.25, 3.0)).collect();
+    let memory_scale: Vec<f64> = (0..n).map(|_| scale(0.0, 2.0)).collect();
+    let param_retention: Vec<f64> = (0..n).map(|_| scale(0.0, 1.0)).collect();
+    let token_retention: Vec<f64> = (0..n).map(|_| scale(0.0, 1.0)).collect();
+    let changed = rng.next_f64() < 0.5;
+    LoadUpdate {
+        fwd_scale,
+        bwd_scale,
+        memory_scale,
+        param_retention,
+        token_retention,
+        changed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The merged update is the element-wise product of the sub-engine
+    /// updates (and the OR of their `changed` flags), for any number of
+    /// structurally valid sub-updates.
+    #[test]
+    fn merged_multipliers_equal_the_product_of_sub_engine_multipliers(
+        seed in 0u64..1_000_000,
+        num_updates in 1usize..5,
+    ) {
+        let mut rng = Prng::seed_from(seed);
+        let updates: Vec<LoadUpdate> =
+            (0..num_updates).map(|_| random_update(&mut rng, 12)).collect();
+        let merged = merge_updates(&updates).unwrap();
+        for l in 0..12 {
+            let product = |f: &dyn Fn(&LoadUpdate) -> f64| -> f64 {
+                updates.iter().map(f).product()
+            };
+            prop_assert_eq!(merged.fwd_scale[l], product(&|u| u.fwd_scale[l]));
+            prop_assert_eq!(merged.bwd_scale[l], product(&|u| u.bwd_scale[l]));
+            prop_assert_eq!(merged.memory_scale[l], product(&|u| u.memory_scale[l]));
+            prop_assert_eq!(merged.param_retention[l], product(&|u| u.param_retention[l]));
+            prop_assert_eq!(merged.token_retention[l], product(&|u| u.token_retention[l]));
+            // A layer frozen by any sub-engine is frozen in the merge.
+            if updates.iter().any(|u| u.bwd_scale[l] == 0.0) {
+                prop_assert_eq!(merged.bwd_scale[l], 0.0);
+            }
+        }
+        prop_assert_eq!(merged.changed, updates.iter().any(|u| u.changed));
+        merged.validate().unwrap();
+    }
+
+    /// Raw merges commute up to f64 rounding (products are commutative but
+    /// fold rounding is not reorder-stable); exact zeros — frozen layers —
+    /// stay exactly zero in every order.  Bit-exact order independence is
+    /// the `ComposedEngine`'s job (it folds in canonical case order) and is
+    /// checked by `commuting_real_engine_stacks_are_order_independent`.
+    #[test]
+    fn merge_is_order_independent_up_to_rounding(
+        seed in 0u64..1_000_000,
+        num_updates in 2usize..5,
+    ) {
+        let mut rng = Prng::seed_from(seed ^ 0xDEAD_BEEF);
+        let updates: Vec<LoadUpdate> =
+            (0..num_updates).map(|_| random_update(&mut rng, 8)).collect();
+        let forward = merge_updates(&updates).unwrap();
+        let mut reversed_inputs = updates.clone();
+        reversed_inputs.reverse();
+        let reversed = merge_updates(&reversed_inputs).unwrap();
+        let close = |a: f64, b: f64| {
+            (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+        };
+        for l in 0..8 {
+            prop_assert!(close(forward.fwd_scale[l], reversed.fwd_scale[l]));
+            prop_assert!(close(forward.bwd_scale[l], reversed.bwd_scale[l]));
+            prop_assert!(close(forward.memory_scale[l], reversed.memory_scale[l]));
+            prop_assert!(close(forward.param_retention[l], reversed.param_retention[l]));
+            prop_assert!(close(forward.token_retention[l], reversed.token_retention[l]));
+            if updates.iter().any(|u| u.bwd_scale[l] == 0.0) {
+                prop_assert_eq!(forward.bwd_scale[l].to_bits(), reversed.bwd_scale[l].to_bits());
+            }
+        }
+        prop_assert_eq!(forward.changed, reversed.changed);
+    }
+
+    /// Real engines commute inside a stack: pruning/freezing/sparse-
+    /// attention stacks merged in either order step to bit-identical
+    /// updates for any seeds (each engine's RNG is seeded independently
+    /// and never observes stack order).
+    #[test]
+    fn commuting_real_engine_stacks_are_order_independent(
+        seed_a in 0u64..1_000,
+        seed_b in 0u64..1_000,
+        iterations in 5u64..25,
+    ) {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let build = |order_swapped: bool| -> ComposedEngine {
+            let pruning: Box<dyn DynamismEngine + Send> = Box::new(GradualPruningEngine::new(
+                &model,
+                PruningSchedule {
+                    initial_sparsity: 0.0,
+                    final_sparsity: 0.9,
+                    start_iteration: 5,
+                    frequency: 5,
+                    num_steps: 3,
+                },
+                seed_a,
+            ));
+            let attention: Box<dyn DynamismEngine + Send> = Box::new(SparseAttentionEngine::new(
+                &model,
+                AttentionMode::DynamicSparse,
+                seed_b,
+            ));
+            let engines = if order_swapped {
+                vec![attention, pruning]
+            } else {
+                vec![pruning, attention]
+            };
+            ComposedEngine::new(engines).unwrap()
+        };
+        let mut ab = build(false);
+        let mut ba = build(true);
+        for it in 0..iterations {
+            let u = ab.step(it);
+            let v = ba.step(it);
+            prop_assert_eq!(&u.fwd_scale, &v.fwd_scale, "iteration {}", it);
+            prop_assert_eq!(&u.bwd_scale, &v.bwd_scale);
+            prop_assert_eq!(&u.memory_scale, &v.memory_scale);
+            prop_assert_eq!(&u.param_retention, &v.param_retention);
+            prop_assert_eq!(&u.token_retention, &v.token_retention);
+            prop_assert_eq!(u.changed, v.changed);
+        }
+    }
+}
+
+fn three_mechanism_stack(model: &Model, seed: u64) -> Vec<Box<dyn DynamismEngine + Send>> {
+    vec![
+        Box::new(MoeEngine::new(
+            model,
+            RoutingStrategy::TokenChoiceAuxLoss,
+            seed,
+        )),
+        Box::new(GradualPruningEngine::new(
+            model,
+            PruningSchedule {
+                initial_sparsity: 0.0,
+                final_sparsity: 0.9,
+                start_iteration: 15,
+                frequency: 15,
+                num_steps: 3,
+            },
+            seed + 1,
+        )),
+        Box::new(EarlyExitEngine::new(model, EarlyExitMethod::Calm, seed + 2)),
+    ]
+}
+
+/// Checkpoint → restore → replay determinism for the acceptance stack
+/// (MoE + gradual pruning + early exit) under mid-run kills at several
+/// points, through both balancer families.
+#[test]
+fn three_mechanism_stack_replays_bit_identically_after_mid_run_kills() {
+    let model = Model::from_preset(ModelPreset::Mixtral8x7b);
+    let cluster = ClusterConfig {
+        gpus_per_node: 4,
+        pipeline_stages: 4,
+        data_parallel: 1,
+        device: DeviceSpec::h100_sxm5(),
+    };
+    let config = TrainerConfig {
+        schedule: ScheduleKind::OneFOneB,
+        ..TrainerConfig::paper_defaults(cluster, 70)
+    };
+    let make_partition = || {
+        RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        )
+    };
+    let make_diffusion = || {
+        RebalanceController::new(
+            Box::new(DiffusionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        )
+    };
+    let make_stack = || three_mechanism_stack(&model, 99);
+    for make_controller in [
+        &make_partition as &dyn Fn() -> RebalanceController,
+        &make_diffusion,
+    ] {
+        let spec = CompositeRunSpec {
+            model: &model,
+            config: &config,
+            make_controller,
+            make_stack: &make_stack,
+        };
+        // Kills on and off the checkpoint grid (interval 20).
+        for kill_at in [20, 33, 59] {
+            let report = run_composite_with_recovery(&spec, 20, kill_at).unwrap();
+            assert!(
+                report.bit_identical,
+                "kill at {kill_at}: recovered {:#018x} vs baseline {:#018x}",
+                report.recovered.trajectory_checksum, report.baseline.trajectory_checksum,
+            );
+            assert_eq!(report.resumed_from, (kill_at / 20) * 20);
+        }
+    }
+}
+
+/// A freezing-bearing stack (no per-iteration noise once schedules quiesce)
+/// also replays bit-identically — the resume path re-profiles and
+/// re-simulates mid-cache, which must reproduce the cached values exactly.
+#[test]
+fn quiescent_stacks_replay_bit_identically_too() {
+    let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+    let cluster = ClusterConfig {
+        gpus_per_node: 4,
+        pipeline_stages: 4,
+        data_parallel: 1,
+        device: DeviceSpec::h100_sxm5(),
+    };
+    let config = TrainerConfig {
+        schedule: ScheduleKind::ZeroBubbleH1,
+        ..TrainerConfig::paper_defaults(cluster, 80)
+    };
+    let make_controller = || {
+        RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        )
+    };
+    let make_stack = || -> Vec<Box<dyn DynamismEngine + Send>> {
+        vec![
+            Box::new(GradualPruningEngine::new(
+                &model,
+                PruningSchedule {
+                    initial_sparsity: 0.0,
+                    final_sparsity: 0.9,
+                    start_iteration: 20,
+                    frequency: 20,
+                    num_steps: 2,
+                },
+                7,
+            )),
+            Box::new(FreezingEngine::new(
+                &model,
+                FreezingPolicy {
+                    check_interval: 10,
+                    first_freeze_iteration: 15,
+                    stagger_per_layer: 3,
+                    never_freeze_fraction: 0.25,
+                    jitter: 0.1,
+                },
+                8,
+            )),
+        ]
+    };
+    let spec = CompositeRunSpec {
+        model: &model,
+        config: &config,
+        make_controller: &make_controller,
+        make_stack: &make_stack,
+    };
+    // Kill in a quiet stretch between dynamism events.
+    let report = run_composite_with_recovery(&spec, 25, 68).unwrap();
+    assert!(report.bit_identical);
+    assert_eq!(report.resumed_from, 50);
+    assert_eq!(report.replayed, 18);
+}
