@@ -1,0 +1,85 @@
+//! Criterion bench pinning the event-driven pipeline simulator against the
+//! legacy busy-poll reference at paper scale (`p = 32`, `m = 512` — the
+//! largest grid corner of `pipeline_sweep`).  The event engine's
+//! `O(n + e)` bound (Kahn relaxation over a CSR DAG) is what keeps
+//! paper-scale sweeps cheap and is what this bench regression-guards;
+//! running both engines on the identical input keeps the comparison
+//! honest — the reference loop's simple arrays make it fast on friendly
+//! schedules, while the engine's bound holds on every schedule (the
+//! reference rescans, so adversarial dependency patterns and the
+//! interleaved/zero-bubble schedules are engine-only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynmo_model::{ClusterConfig, DeviceSpec, ModelConfig};
+use dynmo_pipeline::load::StageLoad;
+use dynmo_pipeline::{CommCostModel, PipelineSimulator, ScheduleKind};
+
+const PAPER_STAGES: usize = 32;
+const PAPER_MICROBATCHES: usize = 512;
+
+fn paper_scale_loads() -> Vec<StageLoad> {
+    (0..PAPER_STAGES)
+        .map(|s| {
+            // Mild imbalance so the engines exercise real dependency
+            // stalls, not the degenerate balanced fast path.
+            let skew = 1.0 + 0.3 * (s as f64 / (PAPER_STAGES - 1) as f64);
+            StageLoad {
+                fwd_time: 2.0e-3 * skew,
+                bwd_time: 4.0e-3 * skew,
+                param_count: 12 * 1024 * 1024,
+                static_bytes: 0,
+                activation_bytes: 0,
+                boundary_bytes: 0,
+                num_layers: 1,
+            }
+        })
+        .collect()
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    let model = ModelConfig::gpt(32);
+    let cluster = ClusterConfig {
+        gpus_per_node: 8,
+        pipeline_stages: PAPER_STAGES,
+        data_parallel: 1,
+        device: DeviceSpec::h100_sxm5(),
+    };
+    let loads = paper_scale_loads();
+    let mut group = c.benchmark_group("pipeline_simulate_p32_m512");
+    for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+        let simulator = PipelineSimulator::new(CommCostModel::new(cluster), schedule);
+        group.bench_with_input(
+            BenchmarkId::new("event_engine", schedule.label()),
+            &loads,
+            |b, loads| {
+                b.iter(|| simulator.simulate(&model, loads, PAPER_MICROBATCHES));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", schedule.label()),
+            &loads,
+            |b, loads| {
+                b.iter(|| simulator.simulate_reference(&model, loads, PAPER_MICROBATCHES));
+            },
+        );
+    }
+    // The advanced schedules only exist on the event engine; keep their
+    // paper-scale cost visible alongside.
+    for schedule in [
+        ScheduleKind::Interleaved1F1B { virtual_stages: 2 },
+        ScheduleKind::ZeroBubbleH1,
+    ] {
+        let simulator = PipelineSimulator::new(CommCostModel::new(cluster), schedule);
+        group.bench_with_input(
+            BenchmarkId::new("event_engine", schedule.label()),
+            &loads,
+            |b, loads| {
+                b.iter(|| simulator.simulate(&model, loads, PAPER_MICROBATCHES));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_engine);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! | `fault_tolerance` | Beyond the paper — recovery time vs checkpoint interval vs world size |
 //! | `pipeline_sweep` | Beyond the paper — rayon-parallel (schedule × p × m × imbalance) bubble grid |
 //! | `composite_sweep` | Beyond the paper — stacked-mechanism (stack × balancer × schedule) grid with crash/recovery checks |
+//! | `serving_sweep` | Beyond the paper — continuous-batching inference (trace × early-exit × balancer × elasticity) SLO grid |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the
@@ -27,6 +28,7 @@
 pub mod cases;
 pub mod composite;
 pub mod scale;
+pub mod serving;
 pub mod sweep;
 pub mod table;
 
@@ -39,5 +41,8 @@ pub use composite::{
     CompositeCase, CompositeCell, Mechanism, StackSpec,
 };
 pub use scale::{ExperimentScale, ScaledSchedules};
+pub use serving::{
+    run_serving_cell, run_serving_sweep, ServingCase, ServingCell, ServingSweepConfig,
+};
 pub use sweep::{run_sweep, SweepCase, SweepCell, SweepConfig};
 pub use table::{dump_json, fmt, pct, Table};

@@ -1,0 +1,314 @@
+//! Parallel inference-serving sweeps.
+//!
+//! Fans a `(trace × early-exit × balancer × {fixed, elastic})` grid across
+//! threads with rayon: every cell generates a deterministic request trace,
+//! serves it through `dynmo-serve`'s continuous-batching engine, and
+//! reports SLO metrics (p50/p95/p99 TTFT and TPOT, goodput) plus the
+//! autoscaler's scaling timeline.  Fixed and elastic cells on the same
+//! trace see byte-identical traffic, so the artifact directly answers
+//! "what did autoscaling buy on this trace?" —
+//! `results/serving_sweep.json`, one object per cell (schema in
+//! `crates/bench/README.md`).
+
+use dynmo_dynamics::{DynamismEngine, EarlyExitEngine, EarlyExitMethod};
+use dynmo_model::Model;
+use dynmo_serve::{
+    serve, ArrivalProcess, AutoscalerConfig, LengthModel, RequestTrace, ServeBalancerKind,
+    ServingConfig,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::scale::ExperimentScale;
+
+/// The grid a serving sweep covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSweepConfig {
+    /// Arrival processes to serve (the trace axis).
+    pub processes: Vec<ArrivalProcess>,
+    /// Trace length in (simulated) seconds.
+    pub duration: f64,
+    /// Early-exit axis: serve with and/or without CALM early exit.
+    pub early_exit: Vec<bool>,
+    /// Balancer families laying out replicas.
+    pub balancers: Vec<ServeBalancerKind>,
+    /// Capacity axis: fixed single replica and/or elastic (autoscaled).
+    pub elastic: Vec<bool>,
+    /// Replica ceiling for elastic cells.
+    pub max_replicas: usize,
+    /// Trace-generation seed (shared by every cell on the same process, so
+    /// fixed and elastic cells compare on identical traffic).
+    pub seed: u64,
+}
+
+impl ServingSweepConfig {
+    /// The sweep grid for a given experiment scale.  All scales cover
+    /// three traces × early-exit on/off × fixed/elastic; larger scales add
+    /// the diffusion balancer and longer traces.
+    pub fn for_scale(scale: ExperimentScale) -> Self {
+        let (duration, balancers) = match scale {
+            ExperimentScale::Smoke => (40.0, vec![ServeBalancerKind::Partition]),
+            ExperimentScale::Default => (
+                60.0,
+                vec![ServeBalancerKind::Partition, ServeBalancerKind::Diffusion],
+            ),
+            ExperimentScale::Paper => (
+                120.0,
+                vec![ServeBalancerKind::Partition, ServeBalancerKind::Diffusion],
+            ),
+        };
+        ServingSweepConfig {
+            processes: vec![
+                ArrivalProcess::Poisson { rate: 5.0 },
+                ArrivalProcess::Bursty {
+                    base_rate: 2.0,
+                    spike_rate: 30.0,
+                    spike_start: duration * 0.25,
+                    spike_duration: duration * 0.4,
+                },
+                ArrivalProcess::Diurnal {
+                    mean_rate: 5.0,
+                    amplitude: 0.9,
+                    period: duration * 0.8,
+                },
+            ],
+            duration,
+            early_exit: vec![false, true],
+            balancers,
+            elastic: vec![false, true],
+            max_replicas: 4,
+            seed: 0x5e11_ce11,
+        }
+    }
+
+    /// The cartesian product of the grid's axes.
+    pub fn cells(&self) -> Vec<ServingCase> {
+        let mut cases = Vec::new();
+        for &process in &self.processes {
+            for &early_exit in &self.early_exit {
+                for &balancer in &self.balancers {
+                    for &elastic in &self.elastic {
+                        cases.push(ServingCase {
+                            process,
+                            duration: self.duration,
+                            early_exit,
+                            balancer,
+                            elastic,
+                            max_replicas: self.max_replicas,
+                            seed: self.seed,
+                        });
+                    }
+                }
+            }
+        }
+        cases
+    }
+}
+
+/// One point of the serving grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingCase {
+    /// Arrival process generating the trace.
+    pub process: ArrivalProcess,
+    /// Trace length in seconds.
+    pub duration: f64,
+    /// Whether CALM early exit runs in the serving engine.
+    pub early_exit: bool,
+    /// Balancer family laying out replicas.
+    pub balancer: ServeBalancerKind,
+    /// Whether the SLO-driven autoscaler is attached.
+    pub elastic: bool,
+    /// Replica ceiling when elastic.
+    pub max_replicas: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// The served outcome of one sweep point — one row of the JSON artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingCell {
+    /// Trace label (`poisson` / `bursty` / `diurnal`).
+    pub trace: String,
+    /// CALM early exit on?
+    pub early_exit: bool,
+    /// Balancer label (`partition` / `diffusion`).
+    pub balancer: String,
+    /// Autoscaler attached?
+    pub elastic: bool,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests served (always equals `requests`).
+    pub completed: usize,
+    /// Engine steps executed.
+    pub engine_steps: u64,
+    /// Time the last request completed, in seconds.
+    pub makespan: f64,
+    /// Time-to-first-token percentiles, in seconds.
+    pub ttft_p50: f64,
+    /// 95th-percentile TTFT.
+    pub ttft_p95: f64,
+    /// 99th-percentile TTFT.
+    pub ttft_p99: f64,
+    /// Time-per-output-token percentiles, in seconds.
+    pub tpot_p50: f64,
+    /// 95th-percentile TPOT.
+    pub tpot_p95: f64,
+    /// 99th-percentile TPOT.
+    pub tpot_p99: f64,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// SLO-met completions per second.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Output tokens decoded per second.
+    pub output_tokens_per_second: f64,
+    /// Time-weighted mean GPUs allocated.
+    pub mean_gpus: f64,
+    /// Largest replica count ever live.
+    pub peak_replicas: usize,
+    /// Replicas added by the autoscaler.
+    pub scale_out_events: usize,
+    /// Replicas released by the autoscaler.
+    pub scale_in_events: usize,
+    /// Per-replica KV capacity in tokens.
+    pub kv_capacity_tokens: usize,
+    /// Peak single-replica KV reservation in tokens.
+    pub peak_kv_tokens: usize,
+}
+
+fn sweep_lengths() -> LengthModel {
+    LengthModel {
+        mean_prompt_tokens: 256,
+        mean_output_tokens: 64,
+        spread: 0.5,
+    }
+}
+
+/// Serve one sweep point.
+pub fn run_serving_cell(case: &ServingCase) -> ServingCell {
+    let trace = RequestTrace::generate(&case.process, case.duration, &sweep_lengths(), case.seed);
+    let mut config = ServingConfig::small(1);
+    config.balancer = case.balancer;
+    if case.elastic {
+        config.max_replicas = case.max_replicas;
+        let ttft_target = config.slo.ttft;
+        config = config.with_autoscaler(AutoscalerConfig::responsive(
+            ttft_target,
+            1,
+            case.max_replicas,
+        ));
+    }
+    let mut engine_storage;
+    let engine: Option<&mut dyn DynamismEngine> = if case.early_exit {
+        let model = Model::from_preset(config.preset);
+        engine_storage = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, case.seed ^ 0xee);
+        Some(&mut engine_storage)
+    } else {
+        None
+    };
+    let report = serve(config, &trace, engine).expect("sweep cell serves its trace");
+    ServingCell {
+        trace: trace.label.clone(),
+        early_exit: case.early_exit,
+        balancer: case.balancer.label().to_string(),
+        elastic: case.elastic,
+        requests: report.requests,
+        completed: report.completed,
+        engine_steps: report.engine_steps,
+        makespan: report.makespan,
+        ttft_p50: report.ttft.p50,
+        ttft_p95: report.ttft.p95,
+        ttft_p99: report.ttft.p99,
+        tpot_p50: report.tpot.p50,
+        tpot_p95: report.tpot.p95,
+        tpot_p99: report.tpot.p99,
+        latency_p99: report.latency.p99,
+        throughput_rps: report.throughput_rps,
+        goodput_rps: report.goodput_rps,
+        slo_attainment: report.slo_attainment(),
+        output_tokens_per_second: report.output_tokens_per_second,
+        mean_gpus: report.mean_gpus,
+        peak_replicas: report.peak_replicas,
+        scale_out_events: report.scale_out_events(),
+        scale_in_events: report.scale_in_events(),
+        kv_capacity_tokens: report.kv_capacity_tokens,
+        peak_kv_tokens: report.peak_kv_tokens,
+    }
+}
+
+/// Run the whole grid, fanning the cells across rayon's thread pool, and
+/// return the rows in grid order (trace-major, matching
+/// [`ServingSweepConfig::cells`]).
+pub fn run_serving_sweep(config: &ServingSweepConfig) -> Vec<ServingCell> {
+    let cases = config.cells();
+    cases.par_iter().map(run_serving_cell).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_the_acceptance_axes() {
+        let config = ServingSweepConfig::for_scale(ExperimentScale::Smoke);
+        let cells = config.cells();
+        // ≥ 3 traces × early-exit on/off, each with fixed and elastic.
+        assert_eq!(cells.len(), 3 * 2 * 2);
+        let traces: std::collections::HashSet<&str> =
+            config.processes.iter().map(|p| p.label()).collect();
+        assert_eq!(traces.len(), 3);
+    }
+
+    #[test]
+    fn a_single_cell_reports_complete_percentiles() {
+        let case = ServingCase {
+            process: ArrivalProcess::Poisson { rate: 3.0 },
+            duration: 10.0,
+            early_exit: false,
+            balancer: ServeBalancerKind::Partition,
+            elastic: false,
+            max_replicas: 2,
+            seed: 5,
+        };
+        let cell = run_serving_cell(&case);
+        assert_eq!(cell.completed, cell.requests);
+        assert!(cell.requests > 0);
+        assert!(cell.ttft_p50 > 0.0 && cell.ttft_p50 <= cell.ttft_p99);
+        assert!(cell.tpot_p50 > 0.0 && cell.tpot_p50 <= cell.tpot_p99);
+        assert!(cell.latency_p99 >= cell.ttft_p99);
+        assert!(cell.throughput_rps > 0.0);
+        assert_eq!(cell.scale_out_events, 0);
+        assert!(cell.peak_kv_tokens <= cell.kv_capacity_tokens);
+    }
+
+    #[test]
+    fn the_elastic_bursty_cell_beats_its_fixed_twin() {
+        // The acceptance pair: same bursty trace, fixed vs elastic.
+        let process = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            spike_rate: 30.0,
+            spike_start: 10.0,
+            spike_duration: 16.0,
+        };
+        let base = ServingCase {
+            process,
+            duration: 40.0,
+            early_exit: false,
+            balancer: ServeBalancerKind::Partition,
+            elastic: false,
+            max_replicas: 4,
+            seed: 0x5e11_ce11,
+        };
+        let fixed = run_serving_cell(&base);
+        let elastic = run_serving_cell(&ServingCase {
+            elastic: true,
+            ..base
+        });
+        assert!(elastic.scale_out_events >= 1);
+        assert!(elastic.ttft_p99 < fixed.ttft_p99);
+        assert!(elastic.mean_gpus > fixed.mean_gpus);
+    }
+}

@@ -177,6 +177,13 @@ impl MockJobManager {
         self.current_iteration = iteration;
     }
 
+    /// Workers currently free in the fleet (released by this job and not
+    /// yet re-acquired) — what an autoscaler can still grab without
+    /// over-subscribing the cluster.
+    pub fn available(&self) -> usize {
+        self.total_workers - self.allocated()
+    }
+
     /// The release/acquire history.
     pub fn events(&self) -> &[FleetEvent] {
         &self.events
@@ -261,8 +268,10 @@ mod tests {
     fn release_and_acquire_round_trip() {
         let mut manager = MockJobManager::new(8);
         assert_eq!(manager.allocated(), 8);
+        assert_eq!(manager.available(), 0);
         assert_eq!(manager.release(&[6, 7]), 2);
         assert_eq!(manager.allocated(), 6);
+        assert_eq!(manager.available(), 2);
         // Releasing the same workers again is a no-op.
         assert_eq!(manager.release(&[6, 7]), 0);
         // Out-of-range workers are ignored.

@@ -234,6 +234,27 @@ pub trait DynamismEngine {
     /// Advance to `iteration` (0-based) and return the resulting load state.
     fn step(&mut self, iteration: u64) -> LoadUpdate;
 
+    /// Advance to `iteration` and return the load state as seen by an
+    /// *inference* engine: the same per-layer dynamism as
+    /// [`DynamismEngine::step`] — early-exit/MoD token retention still
+    /// shortens downstream work, MoE routing still skews per-layer compute
+    /// — but with the backward pass removed entirely (serving never runs
+    /// one).  Engines whose inference behaviour differs structurally from
+    /// training (e.g. a freezing engine, which is a training-only notion)
+    /// may override this; the default zeroes `bwd_scale` and leaves
+    /// everything else as `step` produced it.
+    ///
+    /// Stateful engines advance the same internal streams as `step`, so a
+    /// single engine instance must be driven by either training or
+    /// inference, not both.
+    fn inference_step(&mut self, iteration: u64) -> LoadUpdate {
+        let mut update = self.step(iteration);
+        for scale in update.bwd_scale.iter_mut() {
+            *scale = 0.0;
+        }
+        update
+    }
+
     /// The rebalancing cadence the paper prescribes for this case.
     fn rebalance_frequency(&self) -> RebalanceFrequency;
 
@@ -311,6 +332,48 @@ mod tests {
         assert!(every100.is_due(200));
         assert!(!every100.is_due(150));
         assert!(!RebalanceFrequency::EveryN(0).is_due(5));
+    }
+
+    #[test]
+    fn inference_step_zeroes_the_backward_and_keeps_the_forward() {
+        // A minimal stateful engine: halves layer 1's compute each step.
+        struct Shrinker {
+            factor: f64,
+        }
+        impl DynamismEngine for Shrinker {
+            fn name(&self) -> String {
+                "shrinker".into()
+            }
+            fn case(&self) -> DynamismCase {
+                DynamismCase::EarlyExit
+            }
+            fn step(&mut self, _iteration: u64) -> LoadUpdate {
+                self.factor *= 0.5;
+                let mut u = LoadUpdate::identity(3);
+                u.fwd_scale[1] = self.factor;
+                u.bwd_scale[1] = self.factor;
+                u.token_retention[1] = self.factor;
+                u.changed = true;
+                u
+            }
+            fn rebalance_frequency(&self) -> RebalanceFrequency {
+                RebalanceFrequency::EveryIteration
+            }
+        }
+        let mut train = Shrinker { factor: 1.0 };
+        let mut infer = Shrinker { factor: 1.0 };
+        let t = train.step(0);
+        let i = infer.inference_step(0);
+        i.validate().unwrap();
+        // Forward dynamism and token retention survive unchanged...
+        assert_eq!(i.fwd_scale, t.fwd_scale);
+        assert_eq!(i.token_retention, t.token_retention);
+        assert_eq!(i.changed, t.changed);
+        // ...but no layer claims backward time.
+        assert!(i.bwd_scale.iter().all(|&s| s == 0.0));
+        // The hook advances the same internal state as step().
+        let i2 = infer.inference_step(1);
+        assert!(i2.fwd_scale[1] < i.fwd_scale[1]);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   paper's experimental section),
 //! * per-layer parameter counts and FLOP costs ([`layer`], [`cost`]),
 //! * per-layer memory footprints, including Adam optimizer state and
-//!   activation memory per micro-batch ([`memory`]), and
+//!   activation memory per micro-batch ([`memory`]),
+//! * KV-cache memory per request for autoregressive inference, with
+//!   pruning and sliding-window sparse-attention hooks ([`kv_cache`]), and
 //! * the device/cluster description used to convert FLOPs into time
 //!   ([`device`]).
 //!
@@ -26,6 +28,7 @@
 pub mod config;
 pub mod cost;
 pub mod device;
+pub mod kv_cache;
 pub mod layer;
 pub mod memory;
 pub mod model;
@@ -33,6 +36,7 @@ pub mod model;
 pub use config::{ModelConfig, ModelPreset, MoeConfig};
 pub use cost::CostModel;
 pub use device::{ClusterConfig, DeviceSpec};
+pub use kv_cache::KvCacheModel;
 pub use layer::{LayerDesc, LayerId, LayerKind};
 pub use memory::MemoryModel;
 pub use model::Model;

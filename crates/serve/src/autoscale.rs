@@ -1,0 +1,334 @@
+//! The elastic autoscaler: SLO-driven replica scale-out / scale-in.
+//!
+//! The serving engine runs `r` pipeline replicas against a shared request
+//! stream.  The autoscaler watches two pressure signals —
+//!
+//! * the windowed p99 TTFT of recently *completed* requests, and
+//! * the age of the oldest request still waiting for admission (queue
+//!   pressure shows up here long before it shows up in completions) —
+//!
+//! and, when either breaches the TTFT target, asks the fleet's
+//! [`dynmo_core::elastic::JobManager`] for one replica's worth of GPUs
+//! (the serving analogue of the paper's §3.4.2 elastic release, run in
+//! reverse).  New replicas come online after a provisioning delay and are
+//! partitioned by the same balancer family that laid out the original
+//! replicas.  When the spike passes — backlog far below capacity and p99
+//! comfortably inside the target — replicas are drained and their GPUs
+//! handed back.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::percentile;
+
+/// Autoscaler policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Seconds between policy evaluations.
+    pub check_interval: f64,
+    /// Look-back window (seconds) for the completed-request p99.
+    pub window: f64,
+    /// The p99 TTFT the autoscaler defends, in seconds.
+    pub ttft_p99_target: f64,
+    /// Seconds a new replica takes to come online after scale-out.
+    pub provision_delay: f64,
+    /// Minimum seconds between scaling actions.
+    pub cooldown: f64,
+    /// Replica count floor.
+    pub min_replicas: usize,
+    /// Replica count ceiling (bounded by the fleet's free GPUs too).
+    pub max_replicas: usize,
+    /// Scale in only when outstanding work is below this fraction of one
+    /// replica's KV capacity *and* p99 is below this fraction of target.
+    pub scale_in_fraction: f64,
+}
+
+impl AutoscalerConfig {
+    /// A responsive default for the compressed sweep time-scales: check
+    /// every 2 s over a 20 s window, provision in 5 s, 8 s cooldown.
+    pub fn responsive(ttft_p99_target: f64, min_replicas: usize, max_replicas: usize) -> Self {
+        AutoscalerConfig {
+            check_interval: 2.0,
+            window: 20.0,
+            ttft_p99_target,
+            provision_delay: 5.0,
+            cooldown: 8.0,
+            min_replicas,
+            max_replicas,
+            scale_in_fraction: 0.25,
+        }
+    }
+}
+
+/// What the policy decided at one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleDecision {
+    /// Keep the current replica set.
+    Hold,
+    /// Add one replica.
+    Out,
+    /// Drain and release one replica.
+    In,
+}
+
+/// A recorded scaling action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Simulation time of the action, in seconds.
+    pub time: f64,
+    /// +n = replicas added, −n = replicas released.
+    pub delta: i64,
+    /// Active + provisioning replicas after the action.
+    pub replicas_after: usize,
+    /// The windowed p99 TTFT observed at decision time.
+    pub observed_ttft_p99: f64,
+    /// Outstanding (queued + running) tokens at decision time.
+    pub backlog_tokens: usize,
+}
+
+/// The pressure signals an evaluation consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSignals {
+    /// Replicas active or provisioning.
+    pub replicas: usize,
+    /// Outstanding (queued + running) tokens across all replicas.
+    pub backlog_tokens: usize,
+    /// Age in seconds of the oldest request not yet admitted (0 if none).
+    pub oldest_wait: f64,
+    /// One replica's KV capacity in tokens.
+    pub capacity_tokens_per_replica: usize,
+}
+
+/// SLO-driven scaling policy over a sliding completion window.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    /// `(completion_time, ttft)` of recent completions.
+    completions: Vec<(f64, f64)>,
+    next_check: f64,
+    last_action: f64,
+}
+
+impl Autoscaler {
+    /// Create an autoscaler with the given policy.
+    pub fn new(config: AutoscalerConfig) -> Self {
+        assert!(config.check_interval > 0.0, "check interval must be > 0");
+        assert!(config.min_replicas >= 1, "at least one replica must remain");
+        assert!(
+            config.max_replicas >= config.min_replicas,
+            "max_replicas must be ≥ min_replicas"
+        );
+        Autoscaler {
+            config,
+            completions: Vec::new(),
+            next_check: config.check_interval,
+            last_action: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Record one completed request's TTFT.
+    pub fn record_completion(&mut self, time: f64, ttft: f64) {
+        self.completions.push((time, ttft));
+    }
+
+    /// The p99 TTFT over completions inside the look-back window ending at
+    /// `now`.
+    pub fn windowed_ttft_p99(&self, now: f64) -> f64 {
+        let mut window: Vec<f64> = self
+            .completions
+            .iter()
+            .filter(|(t, _)| *t >= now - self.config.window)
+            .map(|(_, ttft)| *ttft)
+            .collect();
+        window.sort_by(|a, b| a.partial_cmp(b).expect("ttfts are finite"));
+        percentile(&window, 0.99)
+    }
+
+    /// Whether a policy check is due at `now` — lets the caller skip
+    /// computing the (non-trivial) load signals on steps where
+    /// [`Autoscaler::evaluate`] would return Hold without reading them.
+    pub fn check_due(&self, now: f64) -> bool {
+        now >= self.next_check
+    }
+
+    /// Tell the policy a scaling action actually happened at `now`,
+    /// starting the cooldown.  The caller (not [`Autoscaler::evaluate`])
+    /// reports this, because a decision can be dropped — e.g. a scale-out
+    /// when the fleet has no free GPUs because a draining replica still
+    /// holds its block — and a dropped decision must not burn the
+    /// cooldown, or the deployment would sit under-provisioned through an
+    /// SLO breach even after the GPUs free up.
+    pub fn note_action(&mut self, now: f64) {
+        self.last_action = now;
+    }
+
+    /// Evaluate the policy at `now`.  Returns [`ScaleDecision::Hold`]
+    /// between check intervals and during cooldown; the caller applies the
+    /// decision (subject to fleet availability) and, if it took effect,
+    /// reports it via [`Autoscaler::note_action`].
+    pub fn evaluate(&mut self, now: f64, signals: &LoadSignals) -> ScaleDecision {
+        if now < self.next_check {
+            return ScaleDecision::Hold;
+        }
+        // Catch up the check grid (steps can jump over several intervals).
+        while self.next_check <= now {
+            self.next_check += self.config.check_interval;
+        }
+        // Trim completions that can never re-enter the window.
+        let horizon = now - self.config.window;
+        self.completions.retain(|(t, _)| *t >= horizon);
+
+        if now - self.last_action < self.config.cooldown {
+            return ScaleDecision::Hold;
+        }
+        let p99 = self.windowed_ttft_p99(now);
+        let target = self.config.ttft_p99_target;
+        let pressured = p99 > target || signals.oldest_wait > target;
+        if pressured && signals.replicas < self.config.max_replicas {
+            return ScaleDecision::Out;
+        }
+        let relaxed = p99 < self.config.scale_in_fraction * target
+            && signals.oldest_wait < self.config.scale_in_fraction * target
+            && (signals.backlog_tokens as f64)
+                < self.config.scale_in_fraction
+                    * signals.capacity_tokens_per_replica as f64
+                    * (signals.replicas.saturating_sub(1)) as f64;
+        if relaxed && signals.replicas > self.config.min_replicas {
+            return ScaleDecision::In;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AutoscalerConfig {
+        AutoscalerConfig::responsive(1.0, 1, 4)
+    }
+
+    fn signals(replicas: usize, backlog: usize, oldest_wait: f64) -> LoadSignals {
+        LoadSignals {
+            replicas,
+            backlog_tokens: backlog,
+            oldest_wait,
+            capacity_tokens_per_replica: 10_000,
+        }
+    }
+
+    #[test]
+    fn holds_between_check_intervals() {
+        let mut scaler = Autoscaler::new(config());
+        // Breaching signals, but the first check is not due yet.
+        assert_eq!(
+            scaler.evaluate(0.5, &signals(1, 50_000, 10.0)),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            scaler.evaluate(2.5, &signals(1, 50_000, 10.0)),
+            ScaleDecision::Out
+        );
+    }
+
+    #[test]
+    fn scales_out_on_completed_ttft_p99_breach() {
+        let mut scaler = Autoscaler::new(config());
+        for i in 0..100 {
+            scaler.record_completion(1.0 + i as f64 * 0.01, 3.0);
+        }
+        assert!(scaler.windowed_ttft_p99(2.5) > 1.0);
+        assert_eq!(
+            scaler.evaluate(2.5, &signals(1, 0, 0.0)),
+            ScaleDecision::Out
+        );
+    }
+
+    #[test]
+    fn scales_out_on_queue_pressure_before_any_completion() {
+        let mut scaler = Autoscaler::new(config());
+        assert_eq!(
+            scaler.evaluate(2.5, &signals(1, 80_000, 5.0)),
+            ScaleDecision::Out
+        );
+    }
+
+    #[test]
+    fn respects_cooldown_and_max_replicas() {
+        let mut scaler = Autoscaler::new(config());
+        assert_eq!(
+            scaler.evaluate(2.5, &signals(1, 0, 9.0)),
+            ScaleDecision::Out
+        );
+        scaler.note_action(2.5); // the caller applied the decision
+                                 // Still pressured, but inside the cooldown.
+        assert_eq!(
+            scaler.evaluate(4.5, &signals(2, 0, 9.0)),
+            ScaleDecision::Hold
+        );
+        // After the cooldown, pressure still there → scale again.
+        assert_eq!(
+            scaler.evaluate(12.5, &signals(2, 0, 9.0)),
+            ScaleDecision::Out
+        );
+        scaler.note_action(12.5);
+        // At the ceiling, never scales out.
+        assert_eq!(
+            scaler.evaluate(24.5, &signals(4, 0, 9.0)),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn a_dropped_decision_does_not_burn_the_cooldown() {
+        // The engine drops an Out decision (fleet exhausted) and does NOT
+        // call note_action: the very next check may scale out again.
+        let mut scaler = Autoscaler::new(config());
+        assert_eq!(
+            scaler.evaluate(2.5, &signals(1, 0, 9.0)),
+            ScaleDecision::Out
+        );
+        assert_eq!(
+            scaler.evaluate(4.5, &signals(1, 0, 9.0)),
+            ScaleDecision::Out
+        );
+    }
+
+    #[test]
+    fn scales_in_only_when_quiet_and_above_the_floor() {
+        let mut scaler = Autoscaler::new(config());
+        for i in 0..50 {
+            scaler.record_completion(10.0 + i as f64 * 0.1, 0.05);
+        }
+        // Quiet: tiny p99, no waiters, backlog ≪ capacity of r−1 replicas.
+        assert_eq!(
+            scaler.evaluate(16.5, &signals(3, 100, 0.0)),
+            ScaleDecision::In
+        );
+        // At the floor, holds instead.
+        let mut floor = Autoscaler::new(config());
+        for i in 0..50 {
+            floor.record_completion(10.0 + i as f64 * 0.1, 0.05);
+        }
+        assert_eq!(
+            floor.evaluate(16.5, &signals(1, 100, 0.0)),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn window_drops_stale_completions() {
+        let mut scaler = Autoscaler::new(config());
+        scaler.record_completion(1.0, 50.0);
+        // At t=100 the old terrible TTFT has aged out of the 20 s window.
+        assert_eq!(scaler.windowed_ttft_p99(100.0), 0.0);
+        assert_eq!(
+            scaler.evaluate(100.0, &signals(1, 0, 0.0)),
+            ScaleDecision::Hold
+        );
+    }
+}

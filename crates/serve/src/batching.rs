@@ -1,0 +1,600 @@
+//! The continuous-batching scheduler of one serving replica.
+//!
+//! Modeled on vLLM-style iteration-level scheduling: the engine runs in
+//! *steps*; at every step the batch is re-formed from whatever work exists
+//! right now — one decode token for each running request, plus prompt
+//! chunks of newly admitted requests (chunked prefill) up to the step's
+//! token budget.  Requests enter the running set through **admission
+//! control**: a request is admitted only when its worst-case KV footprint
+//! (prompt + full output) fits in the replica's remaining KV budget, so
+//! the engine can never be forced to preempt mid-decode.
+//!
+//! The scheduler *conserves* requests and tokens: nothing is dropped,
+//! nothing is duplicated, every admitted request eventually decodes
+//! exactly its requested output tokens — the invariants pinned by the
+//! workspace-level property test.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RequestRecord;
+use crate::trace::Request;
+
+/// Scheduler knobs of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatcherConfig {
+    /// KV capacity in tokens (from the KV-cache memory model and the
+    /// replica's tightest stage).
+    pub kv_capacity_tokens: usize,
+    /// Token budget of one engine step (decode + prefill).
+    pub max_batch_tokens: usize,
+    /// Cap on prefill tokens per step (chunked prefill), so a long prompt
+    /// cannot starve the decode cadence of running requests.
+    pub max_prefill_tokens: usize,
+    /// Sliding-attention-window cap on a request's KV reservation: with a
+    /// window of `w`, a request only ever caches its last `w` tokens
+    /// regardless of length (see `dynmo_model::KvCacheModel`).  `None` =
+    /// dense attention, reserve the full prompt + output.
+    pub kv_reservation_cap: Option<usize>,
+    /// Cap on concurrently running requests (vLLM's `max_num_seqs`): wide
+    /// decode batches trade decode cadence for throughput, so engines keep
+    /// the running set bounded and let excess demand queue at the gateway
+    /// — where an elastic scale-out can still pick it up.
+    pub max_running_requests: usize,
+}
+
+impl BatcherConfig {
+    /// Validate the knobs (positive budgets, prefill cap within the step
+    /// budget).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kv_capacity_tokens == 0 {
+            return Err("kv_capacity_tokens must be positive".into());
+        }
+        if self.max_batch_tokens == 0 {
+            return Err("max_batch_tokens must be positive".into());
+        }
+        if self.max_prefill_tokens == 0 || self.max_prefill_tokens > self.max_batch_tokens {
+            return Err("max_prefill_tokens must be in 1..=max_batch_tokens".into());
+        }
+        if self.kv_reservation_cap == Some(0) {
+            return Err("kv_reservation_cap must be positive when set".into());
+        }
+        if self.max_running_requests == 0 {
+            return Err("max_running_requests must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// KV tokens a request reserves for its whole lifetime.
+    pub fn kv_need(&self, request: &Request) -> usize {
+        match self.kv_reservation_cap {
+            Some(cap) => request.total_tokens().min(cap),
+            None => request.total_tokens(),
+        }
+    }
+}
+
+/// A request inside the running batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ActiveRequest {
+    request: Request,
+    /// When admission control let the request in.
+    admitted: f64,
+    /// Prompt tokens already prefilled.
+    prompt_done: usize,
+    /// Output tokens already decoded (the first is produced by the step
+    /// that finishes the prefill).
+    generated: usize,
+    /// When the first output token was produced.
+    first_token: Option<f64>,
+}
+
+/// What one engine step will execute, as planned by
+/// [`ContinuousBatcher::plan_step`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPlan {
+    /// Prompt tokens prefilled this step, per running-set index.
+    pub prefill_shares: Vec<(usize, usize)>,
+    /// Running-set indices decoding one token this step.
+    pub decoders: Vec<usize>,
+    /// Total prompt tokens this step.
+    pub prefill_tokens: usize,
+    /// Total decode tokens this step.
+    pub decode_tokens: usize,
+}
+
+impl StepPlan {
+    /// Total tokens the step processes.
+    pub fn batch_tokens(&self) -> usize {
+        self.prefill_tokens + self.decode_tokens
+    }
+}
+
+/// Iteration-level scheduler state of one replica.
+#[derive(Debug, Clone)]
+pub struct ContinuousBatcher {
+    config: BatcherConfig,
+    waiting: VecDeque<Request>,
+    running: Vec<ActiveRequest>,
+    /// KV tokens reserved by running requests (prompt + full output each).
+    reserved_kv_tokens: usize,
+    peak_kv_tokens: usize,
+    total_prefill_tokens: u64,
+    total_decode_tokens: u64,
+}
+
+impl ContinuousBatcher {
+    /// Create an empty scheduler.  Panics on invalid knobs.
+    pub fn new(config: BatcherConfig) -> Self {
+        config.validate().expect("valid batcher config");
+        ContinuousBatcher {
+            config,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            reserved_kv_tokens: 0,
+            peak_kv_tokens: 0,
+            total_prefill_tokens: 0,
+            total_decode_tokens: 0,
+        }
+    }
+
+    /// The scheduler's knobs.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.config
+    }
+
+    /// A request the scheduler can serve: at least one prompt and one
+    /// output token (the first output token is produced by the prefill),
+    /// and a KV footprint within the replica's budget.  Traces enforce
+    /// this already; the batcher's public entry points re-check it so a
+    /// hand-built `Request` fails loudly instead of wedging mid-decode.
+    fn check_servable(&self, request: &Request) {
+        assert!(
+            request.prompt_tokens >= 1 && request.output_tokens >= 1,
+            "request {} must have ≥ 1 prompt and ≥ 1 output token",
+            request.id
+        );
+        assert!(
+            self.config.kv_need(request) <= self.config.kv_capacity_tokens,
+            "request {} needs {} KV tokens but the replica caps at {}",
+            request.id,
+            self.config.kv_need(request),
+            self.config.kv_capacity_tokens
+        );
+    }
+
+    /// Hand a request to the replica (it queues until admission control
+    /// lets it in).  Panics if the request can never fit the KV budget —
+    /// the engine validates capacities against the trace up front.
+    pub fn enqueue(&mut self, request: Request) {
+        self.check_servable(&request);
+        self.waiting.push_back(request);
+    }
+
+    /// Whether any queued or running work exists.
+    pub fn has_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.running.is_empty()
+    }
+
+    /// Queued requests not yet admitted.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests in the running batch.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Arrival time of the oldest request still waiting for admission.
+    pub fn oldest_waiting_arrival(&self) -> Option<f64> {
+        self.waiting.front().map(|r| r.arrival)
+    }
+
+    /// Outstanding work in tokens: un-prefetched prompt plus un-decoded
+    /// output across both queued and running requests — the autoscaler's
+    /// backlog signal and its scale-in victim-selection key.
+    pub fn outstanding_tokens(&self) -> usize {
+        let queued: usize = self.waiting.iter().map(Request::total_tokens).sum();
+        let running: usize = self
+            .running
+            .iter()
+            .map(|a| {
+                (a.request.prompt_tokens - a.prompt_done) + (a.request.output_tokens - a.generated)
+            })
+            .sum();
+        queued + running
+    }
+
+    /// KV tokens currently reserved by the running set.
+    pub fn reserved_kv_tokens(&self) -> usize {
+        self.reserved_kv_tokens
+    }
+
+    /// Largest KV reservation ever held.
+    pub fn peak_kv_tokens(&self) -> usize {
+        self.peak_kv_tokens
+    }
+
+    /// Total prompt tokens prefilled so far.
+    pub fn total_prefill_tokens(&self) -> u64 {
+        self.total_prefill_tokens
+    }
+
+    /// Total output tokens decoded so far.
+    pub fn total_decode_tokens(&self) -> u64 {
+        self.total_decode_tokens
+    }
+
+    /// Whether admission control would accept one more request of the
+    /// given KV footprint right now.
+    fn can_admit(&self, need: usize) -> bool {
+        self.running.len() < self.config.max_running_requests
+            && self.reserved_kv_tokens + need <= self.config.kv_capacity_tokens
+    }
+
+    /// Gateway-side admission: move `request` straight into the running
+    /// set if the running-set cap and the KV budget allow, bypassing the
+    /// local queue (the serving engine keeps its FCFS queue at the
+    /// gateway, where a scale-out can still redistribute it).  Returns
+    /// whether the request was admitted.
+    pub fn try_admit(&mut self, request: Request, now: f64) -> bool {
+        self.check_servable(&request);
+        let need = self.config.kv_need(&request);
+        if !self.can_admit(need) {
+            return false;
+        }
+        self.reserved_kv_tokens += need;
+        self.peak_kv_tokens = self.peak_kv_tokens.max(self.reserved_kv_tokens);
+        self.running.push(ActiveRequest {
+            request,
+            admitted: now,
+            prompt_done: 0,
+            generated: 0,
+            first_token: None,
+        });
+        true
+    }
+
+    /// Admission control over the local queue: move queued requests
+    /// (arrived by `now`, FCFS) into the running set while the running-set
+    /// cap and their worst-case KV footprint allow.  Head-of-line blocking
+    /// is deliberate — admitting around a stuck head would starve large
+    /// requests forever.
+    pub fn admit(&mut self, now: f64) {
+        while let Some(front) = self.waiting.front() {
+            if front.arrival > now || !self.can_admit(self.config.kv_need(front)) {
+                break;
+            }
+            let request = self.waiting.pop_front().expect("front exists");
+            let admitted = self.try_admit(request, now);
+            debug_assert!(admitted, "can_admit implies try_admit succeeds");
+        }
+    }
+
+    /// Form the next engine step at time `now`: admit what fits, then fill
+    /// the token budget — every decoding request contributes one token,
+    /// then prompt chunks (FCFS over the running set) take the rest, up to
+    /// the chunked-prefill cap.  Returns `None` when no work is runnable at
+    /// `now`.
+    pub fn plan_step(&mut self, now: f64) -> Option<StepPlan> {
+        self.admit(now);
+        let mut decoders = Vec::new();
+        let mut prefill_shares = Vec::new();
+        let mut budget = self.config.max_batch_tokens;
+        for (idx, active) in self.running.iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if active.prompt_done == active.request.prompt_tokens {
+                decoders.push(idx);
+                budget -= 1;
+            }
+        }
+        let mut prefill_budget = self.config.max_prefill_tokens.min(budget);
+        let mut prefill_tokens = 0usize;
+        for (idx, active) in self.running.iter().enumerate() {
+            if prefill_budget == 0 {
+                break;
+            }
+            let remaining = active.request.prompt_tokens - active.prompt_done;
+            if remaining > 0 {
+                let chunk = remaining.min(prefill_budget);
+                prefill_shares.push((idx, chunk));
+                prefill_budget -= chunk;
+                prefill_tokens += chunk;
+            }
+        }
+        if decoders.is_empty() && prefill_shares.is_empty() {
+            return None;
+        }
+        Some(StepPlan {
+            decode_tokens: decoders.len(),
+            decoders,
+            prefill_shares,
+            prefill_tokens,
+        })
+    }
+
+    /// Apply a step planned by [`ContinuousBatcher::plan_step`] that
+    /// finished at `end`: advance prefills (a prompt that completes
+    /// produces the request's first output token in the same step), decode
+    /// one token per decoder, retire finished requests and free their KV.
+    /// Returns the records of requests completed by this step.
+    pub fn commit_step(&mut self, plan: &StepPlan, replica: usize, end: f64) -> Vec<RequestRecord> {
+        for &(idx, chunk) in &plan.prefill_shares {
+            let active = &mut self.running[idx];
+            active.prompt_done += chunk;
+            self.total_prefill_tokens += chunk as u64;
+            if active.prompt_done == active.request.prompt_tokens {
+                // Prefill emits the first output token.
+                active.generated = 1;
+                active.first_token = Some(end);
+                self.total_decode_tokens += 1;
+            }
+        }
+        for &idx in &plan.decoders {
+            let active = &mut self.running[idx];
+            active.generated += 1;
+            self.total_decode_tokens += 1;
+        }
+        let mut completed = Vec::new();
+        let mut kept = Vec::with_capacity(self.running.len());
+        for active in self.running.drain(..) {
+            if active.generated >= active.request.output_tokens {
+                self.reserved_kv_tokens -= self.config.kv_need(&active.request);
+                completed.push(RequestRecord {
+                    id: active.request.id,
+                    replica,
+                    arrival: active.request.arrival,
+                    admitted: active.admitted,
+                    first_token: active.first_token.expect("completed implies first token"),
+                    completion: end,
+                    prompt_tokens: active.request.prompt_tokens,
+                    output_tokens: active.request.output_tokens,
+                });
+            } else {
+                kept.push(active);
+            }
+        }
+        self.running = kept;
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(kv: usize) -> BatcherConfig {
+        BatcherConfig {
+            kv_capacity_tokens: kv,
+            max_batch_tokens: 64,
+            max_prefill_tokens: 32,
+            kv_reservation_cap: None,
+            max_running_requests: 16,
+        }
+    }
+
+    fn request(id: u64, arrival: f64, prompt: usize, output: usize) -> Request {
+        Request {
+            id,
+            arrival,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    /// Drive the batcher with 1-second steps until drained; returns the
+    /// completion records in completion order.
+    fn drain(batcher: &mut ContinuousBatcher, mut now: f64) -> Vec<RequestRecord> {
+        let mut records = Vec::new();
+        let mut guard = 0;
+        while batcher.has_work() {
+            guard += 1;
+            assert!(guard < 100_000, "batcher failed to drain");
+            match batcher.plan_step(now) {
+                Some(plan) => {
+                    now += 1.0;
+                    records.extend(batcher.commit_step(&plan, 0, now));
+                }
+                None => {
+                    now = batcher
+                        .oldest_waiting_arrival()
+                        .expect("no plan implies a future arrival")
+                        .max(now);
+                    batcher.admit(now);
+                }
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn a_single_request_prefills_then_decodes() {
+        let mut b = ContinuousBatcher::new(config(1_000));
+        // 48-token prompt (2 chunked steps at 32), 4 output tokens.
+        b.enqueue(request(0, 0.0, 48, 4));
+        let records = drain(&mut b, 0.0);
+        assert_eq!(records.len(), 1);
+        let r = records[0];
+        // Steps: prefill 32, prefill 16 (+ first token), 3 decode steps.
+        assert_eq!(r.first_token, 2.0);
+        assert_eq!(r.completion, 5.0);
+        assert_eq!(b.total_prefill_tokens(), 48);
+        assert_eq!(b.total_decode_tokens(), 4);
+        assert_eq!(b.reserved_kv_tokens(), 0);
+        assert_eq!(b.peak_kv_tokens(), 52);
+    }
+
+    #[test]
+    fn decode_has_priority_over_prefill_in_the_budget() {
+        let mut b = ContinuousBatcher::new(config(10_000));
+        b.enqueue(request(0, 0.0, 32, 50));
+        // First step prefills request 0 entirely.
+        let plan = b.plan_step(0.0).unwrap();
+        assert_eq!(plan.prefill_tokens, 32);
+        b.commit_step(&plan, 0, 1.0);
+        // A newcomer's prefill shares the step with the decode.
+        b.enqueue(request(1, 1.0, 32, 1));
+        let plan = b.plan_step(1.0).unwrap();
+        assert_eq!(plan.decode_tokens, 1);
+        assert_eq!(plan.prefill_tokens, 32);
+        assert_eq!(plan.batch_tokens(), 33);
+    }
+
+    #[test]
+    fn admission_respects_the_kv_budget_fcfs() {
+        // Capacity 100: request 0 (60) admits, request 1 (60) must wait,
+        // request 2 (20) waits behind it (no head-of-line bypass).
+        let mut b = ContinuousBatcher::new(config(100));
+        b.enqueue(request(0, 0.0, 50, 10));
+        b.enqueue(request(1, 0.0, 50, 10));
+        b.enqueue(request(2, 0.0, 10, 10));
+        b.admit(0.0);
+        assert_eq!(b.running_len(), 1);
+        assert_eq!(b.queue_len(), 2);
+        assert_eq!(b.reserved_kv_tokens(), 60);
+        // Everything still completes once capacity frees up.
+        let records = drain(&mut b, 0.0);
+        assert_eq!(records.len(), 3);
+        assert!(b.peak_kv_tokens() <= 100);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_up_front() {
+        let mut b = ContinuousBatcher::new(config(100));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.enqueue(request(0, 0.0, 90, 20));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 prompt and ≥ 1 output token")]
+    fn zero_prompt_requests_are_rejected() {
+        let mut b = ContinuousBatcher::new(config(100));
+        b.enqueue(request(0, 0.0, 0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 prompt and ≥ 1 output token")]
+    fn zero_output_requests_are_rejected_by_try_admit() {
+        let mut b = ContinuousBatcher::new(config(100));
+        b.try_admit(request(0, 0.0, 5, 0), 0.0);
+    }
+
+    #[test]
+    fn requests_and_tokens_are_conserved() {
+        let mut b = ContinuousBatcher::new(config(500));
+        let requests = [
+            request(0, 0.0, 40, 8),
+            request(1, 0.5, 10, 30),
+            request(2, 3.0, 100, 2),
+            request(3, 3.0, 7, 7),
+        ];
+        for r in requests {
+            b.enqueue(r);
+        }
+        let records = drain(&mut b, 0.0);
+        assert_eq!(records.len(), 4);
+        let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let expected_prefill: u64 = requests.iter().map(|r| r.prompt_tokens as u64).sum();
+        let expected_decode: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        assert_eq!(b.total_prefill_tokens(), expected_prefill);
+        assert_eq!(b.total_decode_tokens(), expected_decode);
+        for r in &records {
+            assert!(r.admitted >= r.arrival);
+            assert!(r.first_token > r.admitted);
+            assert!(r.completion >= r.first_token);
+        }
+        assert_eq!(b.reserved_kv_tokens(), 0);
+        assert_eq!(b.outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn plan_step_is_none_before_the_first_arrival() {
+        let mut b = ContinuousBatcher::new(config(500));
+        b.enqueue(request(0, 5.0, 10, 1));
+        assert!(b.plan_step(1.0).is_none());
+        assert!(b.has_work());
+        assert_eq!(b.oldest_waiting_arrival(), Some(5.0));
+        assert!(b.plan_step(5.0).is_some());
+    }
+
+    #[test]
+    fn outstanding_tokens_track_remaining_work() {
+        let mut b = ContinuousBatcher::new(config(500));
+        b.enqueue(request(0, 0.0, 32, 4));
+        assert_eq!(b.outstanding_tokens(), 36);
+        let plan = b.plan_step(0.0).unwrap();
+        b.commit_step(&plan, 0, 1.0); // prefill done + first token
+        assert_eq!(b.outstanding_tokens(), 3);
+        // Config accessor and validation.
+        assert!(b.config().validate().is_ok());
+        let good = config(10);
+        assert!(BatcherConfig {
+            kv_capacity_tokens: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(BatcherConfig {
+            max_batch_tokens: 4,
+            max_prefill_tokens: 8,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(BatcherConfig {
+            kv_reservation_cap: Some(0),
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(BatcherConfig {
+            max_running_requests: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn the_running_set_cap_bounds_concurrency() {
+        let mut cfg = config(10_000);
+        cfg.max_running_requests = 2;
+        let mut b = ContinuousBatcher::new(cfg);
+        for id in 0..4 {
+            assert_eq!(b.try_admit(request(id, 0.0, 8, 4), 0.0), id < 2);
+        }
+        assert_eq!(b.running_len(), 2);
+        // Queued admission respects the same cap.
+        b.enqueue(request(9, 0.0, 8, 4));
+        b.admit(0.0);
+        assert_eq!(b.running_len(), 2);
+        assert_eq!(b.queue_len(), 1);
+        // Draining frees a slot and the queue drains through it.
+        let records = drain(&mut b, 0.0);
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn windowed_attention_caps_the_reservation() {
+        let mut cfg = config(100);
+        cfg.kv_reservation_cap = Some(64);
+        let mut b = ContinuousBatcher::new(cfg);
+        // 90 + 20 = 110 total tokens, but the window caps the cache at 64,
+        // so the request is admissible (dense attention would reject it).
+        b.enqueue(request(0, 0.0, 90, 20));
+        b.admit(0.0);
+        assert_eq!(b.running_len(), 1);
+        assert_eq!(b.reserved_kv_tokens(), 64);
+        let records = drain(&mut b, 0.0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(b.reserved_kv_tokens(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Continuous-batching inference serving with elastic autoscaling.
+//!
+//! Serves a bursty request trace against a GPT-24 deployment twice — once
+//! at fixed capacity, once with the SLO-driven autoscaler — and prints the
+//! TTFT/TPOT/goodput comparison plus the scaling timeline.  Early exit
+//! (CALM) is enabled in both runs, so decode work shrinks per token the
+//! same way it shrinks training iterations.
+//!
+//! Run with `cargo run --release --example inference_serving`.
+
+use dynmo::dynamics::{EarlyExitEngine, EarlyExitMethod};
+use dynmo::model::{Model, ModelPreset};
+use dynmo::serve::{
+    serve, ArrivalProcess, AutoscalerConfig, LengthModel, RequestTrace, ServingConfig,
+    ServingReport,
+};
+
+fn print_report(name: &str, report: &ServingReport) {
+    println!("--- {name} ---");
+    println!(
+        "  requests: {} completed in {:.1} s  ({:.1} req/s, {:.0} output tok/s)",
+        report.completed, report.makespan, report.throughput_rps, report.output_tokens_per_second
+    );
+    println!(
+        "  TTFT  p50 {:.3} s   p95 {:.3} s   p99 {:.3} s",
+        report.ttft.p50, report.ttft.p95, report.ttft.p99
+    );
+    println!(
+        "  TPOT  p50 {:.4} s  p95 {:.4} s  p99 {:.4} s",
+        report.tpot.p50, report.tpot.p95, report.tpot.p99
+    );
+    println!(
+        "  SLO attainment {:.1}%   goodput {:.2} req/s   mean GPUs {:.2}  peak replicas {}",
+        report.slo_attainment() * 100.0,
+        report.goodput_rps,
+        report.mean_gpus,
+        report.peak_replicas
+    );
+    for event in &report.scale_events {
+        println!(
+            "  t={:6.1} s  {}1 replica  -> {} live (p99 TTFT {:.2} s, backlog {} tokens)",
+            event.time,
+            if event.delta > 0 { "+" } else { "-" },
+            event.replicas_after,
+            event.observed_ttft_p99,
+            event.backlog_tokens
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Light steady traffic with a 25 s, 20× load spike in the middle.
+    let process = ArrivalProcess::Bursty {
+        base_rate: 2.0,
+        spike_rate: 40.0,
+        spike_start: 15.0,
+        spike_duration: 25.0,
+    };
+    let lengths = LengthModel {
+        mean_prompt_tokens: 256,
+        mean_output_tokens: 64,
+        spread: 0.5,
+    };
+    let trace = RequestTrace::generate(&process, 60.0, &lengths, 2024);
+    println!(
+        "Bursty trace: {} requests over 60 s ({} total tokens)\n",
+        trace.num_requests(),
+        trace.total_tokens()
+    );
+
+    let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+
+    // Fixed capacity: one 4-stage replica, CALM early exit.
+    let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+    let fixed = serve(ServingConfig::small(1), &trace, Some(&mut engine))
+        .expect("fixed-capacity deployment serves the trace");
+    print_report("fixed capacity (1 replica)", &fixed);
+
+    // Elastic: the autoscaler may grow to 4 replicas defending a 2 s p99
+    // TTFT, and releases them again when the spike passes.
+    let mut config = ServingConfig::small(1);
+    config.max_replicas = 4;
+    let config = config.with_autoscaler(AutoscalerConfig::responsive(2.0, 1, 4));
+    let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+    let elastic =
+        serve(config, &trace, Some(&mut engine)).expect("elastic deployment serves the trace");
+    print_report("elastic (autoscaled, ≤ 4 replicas)", &elastic);
+
+    assert!(
+        elastic.scale_out_events() >= 1,
+        "the spike should trigger at least one scale-out"
+    );
+    assert!(
+        elastic.ttft.p99 < fixed.ttft.p99,
+        "autoscaling should cut the p99 TTFT"
+    );
+    println!(
+        "Autoscaling cut p99 TTFT {:.2}x ({:.2} s -> {:.2} s) at {:.2} mean GPUs (fixed used {:.0}).",
+        fixed.ttft.p99 / elastic.ttft.p99,
+        fixed.ttft.p99,
+        elastic.ttft.p99,
+        elastic.mean_gpus,
+        fixed.mean_gpus
+    );
+}

@@ -24,6 +24,9 @@
 //!   controller, the end-to-end [`core::trainer::Trainer`], and the
 //!   [`core::recovery`] coordinator that survives rank failures and
 //!   re-scales the world live.
+//! * [`serve`] — continuous-batching inference serving: request traces,
+//!   KV-cache admission control, SLO metrics (TTFT/TPOT/goodput), and an
+//!   elastic autoscaler that grows/shrinks the replica fleet.
 //! * [`baselines`] — Megatron-LM, DeepSpeed, Tutel, Egeria, AutoFreeze, and
 //!   PipeTransformer comparison points.
 //!
@@ -61,4 +64,5 @@ pub use dynmo_model as model;
 pub use dynmo_pipeline as pipeline;
 pub use dynmo_resilience as resilience;
 pub use dynmo_runtime as runtime;
+pub use dynmo_serve as serve;
 pub use dynmo_sparse as sparse;
