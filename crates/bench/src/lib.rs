@@ -15,6 +15,7 @@
 //! | `pipeline_sweep` | Beyond the paper — rayon-parallel (schedule × p × m × imbalance) bubble grid |
 //! | `composite_sweep` | Beyond the paper — stacked-mechanism (stack × balancer × schedule) grid with crash/recovery checks |
 //! | `serving_sweep` | Beyond the paper — continuous-batching inference (trace × early-exit × balancer × elasticity) SLO grid |
+//! | `bench_pool` | Beyond the paper — work-stealing pool wall-clock (sweep bins and the sharded Kahn engine at 1 vs host threads), written to `results/BENCH_pool.json` |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the

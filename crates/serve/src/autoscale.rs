@@ -16,6 +16,8 @@
 //! comfortably inside the target — replicas are drained and their GPUs
 //! handed back.
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::percentile;
@@ -102,8 +104,10 @@ pub struct LoadSignals {
 #[derive(Debug, Clone)]
 pub struct Autoscaler {
     config: AutoscalerConfig,
-    /// `(completion_time, ttft)` of recent completions.
-    completions: Vec<(f64, f64)>,
+    /// `(completion_time, ttft)` of completions still inside the look-back
+    /// window — pruned on every insert, so memory stays `O(window)` over
+    /// arbitrarily long serving runs.
+    completions: VecDeque<(f64, f64)>,
     next_check: f64,
     last_action: f64,
 }
@@ -119,7 +123,7 @@ impl Autoscaler {
         );
         Autoscaler {
             config,
-            completions: Vec::new(),
+            completions: VecDeque::new(),
             next_check: config.check_interval,
             last_action: f64::NEG_INFINITY,
         }
@@ -130,9 +134,24 @@ impl Autoscaler {
         &self.config
     }
 
-    /// Record one completed request's TTFT.
+    /// Record one completed request's TTFT.  Entries that have aged past
+    /// the look-back window ending at `time` are pruned on the way in:
+    /// completions arrive in (nearly) non-decreasing time order, so the
+    /// stale prefix sits at the front and the history can never grow
+    /// beyond one window's worth of completions — previously it grew
+    /// unboundedly for the whole run.
     pub fn record_completion(&mut self, time: f64, ttft: f64) {
-        self.completions.push((time, ttft));
+        let horizon = time - self.config.window;
+        while self.completions.front().is_some_and(|&(t, _)| t < horizon) {
+            self.completions.pop_front();
+        }
+        self.completions.push_back((time, ttft));
+    }
+
+    /// Completions currently retained in the sliding window (test hook for
+    /// the memory bound).
+    pub fn window_len(&self) -> usize {
+        self.completions.len()
     }
 
     /// The p99 TTFT over completions inside the look-back window ending at
@@ -318,6 +337,29 @@ mod tests {
             floor.evaluate(16.5, &signals(1, 100, 0.0)),
             ScaleDecision::Hold
         );
+    }
+
+    /// Regression: `record_completion` used to push into an unpruned `Vec`,
+    /// so a long serving run retained every completion ever made.  The
+    /// history must stay bounded by the look-back window no matter how many
+    /// completions stream through.
+    #[test]
+    fn completion_history_stays_bounded_over_a_million_completions() {
+        let mut scaler = Autoscaler::new(config()); // 20 s window
+        let rate = 100.0; // completions per second
+        for i in 0..1_000_000u64 {
+            scaler.record_completion(i as f64 / rate, 0.05);
+        }
+        // At 100/s over a 20 s window at most ~2001 entries are live.
+        let bound = (config().window * rate) as usize + 1;
+        assert!(
+            scaler.window_len() <= bound,
+            "window holds {} completions, bound is {bound}",
+            scaler.window_len()
+        );
+        // And the retained window still answers queries correctly.
+        let now = 999_999.0 / rate;
+        assert!(scaler.windowed_ttft_p99(now) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Work-stealing deques, mirroring the `crossbeam-deque` API.
+//!
+//! [`Worker`] is the single-owner end of a Chase–Lev deque: the owner
+//! pushes and pops at the bottom (LIFO, keeping hot tasks cache-local),
+//! while any number of [`Stealer`] handles take from the top (FIFO) — the
+//! classic work-stealing discipline, with the C11 orderings of Lê et al.,
+//! "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//! [`Injector`] is the shared global queue new work enters through before a
+//! worker adopts it.
+//!
+//! Two deliberate simplifications versus `crossbeam-deque`:
+//!
+//! * Elements live behind one heap pointer each and the ring's slots are
+//!   `AtomicPtr`s, so the racy slot read a failed steal performs is an
+//!   atomic load of a pointer never dereferenced — no torn reads, no
+//!   epoch-based reclamation machinery.
+//! * Buffers retired by a grow are kept until the deque drops (each grow
+//!   doubles, so retired buffers total less than the live one).  A stealer
+//!   that loaded the old buffer therefore always reads valid memory; its
+//!   subsequent CAS on `top` decides ownership.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Lost a race with another thread; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A ring of `AtomicPtr` slots; capacity is always a power of two.
+struct Buffer<T> {
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Buffer {
+            slots: (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, index: isize) -> &AtomicPtr<T> {
+        &self.slots[index as usize & (self.cap() - 1)]
+    }
+}
+
+struct Inner<T> {
+    /// Next slot the owner pushes to (owner-written only).
+    bottom: AtomicIsize,
+    /// Next slot thieves steal from (CAS-advanced).
+    top: AtomicIsize,
+    /// The live ring.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Rings retired by grows, freed at drop so in-flight stealers always
+    /// read valid memory.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let top = self.top.load(Ordering::Relaxed);
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            // Remaining elements exist exactly once, in the live buffer.
+            for index in top..bottom {
+                let ptr = (*buffer).slot(index).load(Ordering::Relaxed);
+                drop(Box::from_raw(ptr));
+            }
+            drop(Box::from_raw(buffer));
+            for retired in self
+                .retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+            {
+                drop(Box::from_raw(retired));
+            }
+        }
+    }
+}
+
+/// The owner end of a work-stealing deque.  `Worker` is `Send` but not
+/// `Sync`: exactly one thread pushes and pops.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Opts out of `Sync` (single owner) while staying `Send`.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+/// A handle that steals from the top of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send> Worker<T> {
+    /// Create an empty deque (FIFO/LIFO distinction follows crossbeam's
+    /// `new_fifo`/`new_lifo`; this deque is LIFO for the owner, like
+    /// rayon's).
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Inner {
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A new stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        top >= bottom
+    }
+
+    /// Push a task onto the owner (bottom) end.
+    pub fn push(&self, task: T) {
+        let inner = &*self.inner;
+        let bottom = inner.bottom.load(Ordering::Relaxed);
+        let top = inner.top.load(Ordering::Acquire);
+        let mut buffer = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if bottom - top >= (*buffer).cap() as isize {
+                buffer = self.grow(bottom, top, buffer);
+            }
+            (*buffer)
+                .slot(bottom)
+                .store(Box::into_raw(Box::new(task)), Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        inner.bottom.store(bottom + 1, Ordering::Relaxed);
+    }
+
+    /// Pop a task from the owner (bottom) end.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let bottom = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(bottom, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let top = inner.top.load(Ordering::Relaxed);
+        if top <= bottom {
+            let ptr = unsafe { (*buffer).slot(bottom).load(Ordering::Relaxed) };
+            if top == bottom {
+                // Racing thieves for the last element: the CAS on `top`
+                // decides ownership either way.
+                let won = inner
+                    .top
+                    .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(bottom + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            Some(unsafe { *Box::from_raw(ptr) })
+        } else {
+            // Already empty; restore bottom.
+            inner.bottom.store(bottom + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Double the ring, copying live slots; the old ring is retired (kept
+    /// allocated) so concurrent stealers never read freed memory.
+    unsafe fn grow(&self, bottom: isize, top: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Box::into_raw(Buffer::new((*old).cap() * 2));
+        for index in top..bottom {
+            let ptr = (*old).slot(index).load(Ordering::Relaxed);
+            (*new).slot(index).store(ptr, Ordering::Relaxed);
+        }
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(old);
+        self.inner.buffer.store(new, Ordering::Release);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Whether the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        let top = self.inner.top.load(Ordering::Acquire);
+        let bottom = self.inner.bottom.load(Ordering::Acquire);
+        top >= bottom
+    }
+
+    /// Steal a task from the top (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let top = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let bottom = inner.bottom.load(Ordering::Acquire);
+        if top < bottom {
+            let buffer = inner.buffer.load(Ordering::Acquire);
+            // This load may race with the owner overwriting the slot after
+            // a wrap — but a wrap past `top` forces a grow first, and a
+            // concurrent pop of this element moves `top`; either way the
+            // CAS below fails and the pointer is discarded unread.
+            let ptr = unsafe { (*buffer).slot(top).load(Ordering::Relaxed) };
+            if inner
+                .top
+                .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(unsafe { *Box::from_raw(ptr) })
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// A shared FIFO queue feeding the worker pool from outside: tasks are
+/// pushed by any thread and stolen by idle workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// Steal the oldest task.  Returns [`Steal::Retry`] when the queue is
+    /// momentarily contended rather than blocking the thief.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut queue) => match queue.pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Number of queued tasks at the instant of observation.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let worker = Worker::new_lifo();
+        let stealer = worker.stealer();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(stealer.steal().success(), Some(1)); // oldest
+        assert_eq!(worker.pop(), Some(3)); // newest
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), None);
+        assert!(stealer.steal().is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_contents_and_order() {
+        let worker: Worker<usize> = Worker::new_lifo();
+        let stealer = worker.stealer();
+        for i in 0..1000 {
+            worker.push(i);
+        }
+        for i in 0..500 {
+            assert_eq!(stealer.steal().success(), Some(i));
+        }
+        for i in (500..1000).rev() {
+            assert_eq!(worker.pop(), Some(i));
+        }
+        assert_eq!(worker.pop(), None);
+    }
+
+    #[test]
+    fn unconsumed_elements_are_dropped_with_the_deque() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let worker = Worker::new_lifo();
+            for _ in 0..100 {
+                worker.push(Counted);
+            }
+            drop(worker.pop()); // one dropped by consumption
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    /// Stress the owner-pop vs. thief-steal race: every pushed value must
+    /// be extracted exactly once across the owner and several thieves.
+    #[test]
+    fn concurrent_steal_stress_conserves_every_task() {
+        const TASKS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let worker: Worker<usize> = Worker::new_lifo();
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let stealer = worker.stealer();
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut count = 0usize;
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(v) => {
+                                seen[v].fetch_add(1, Ordering::SeqCst);
+                                count += 1;
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        let mut owner_count = 0usize;
+        for v in 0..TASKS {
+            worker.push(v);
+            // Interleave pops so the last-element CAS race is exercised.
+            if v % 3 == 0 {
+                if let Some(got) = worker.pop() {
+                    seen[got].fetch_add(1, Ordering::SeqCst);
+                    owner_count += 1;
+                }
+            }
+        }
+        while let Some(got) = worker.pop() {
+            seen[got].fetch_add(1, Ordering::SeqCst);
+            owner_count += 1;
+        }
+        done.store(true, Ordering::SeqCst);
+        let stolen: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(owner_count + stolen, TASKS);
+        for (v, count) in seen.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                1,
+                "task {v} seen wrong number of times"
+            );
+        }
+    }
+}

@@ -1,30 +1,68 @@
-//! Minimal stand-in for `crossbeam`'s channel module, built on
-//! `std::sync::mpsc`.
+//! Minimal stand-in for the parts of the `crossbeam` family the workspace
+//! uses: multi-consumer channels (`crossbeam::channel`) and work-stealing
+//! deques (`crossbeam::deque`).
 //!
-//! Crossbeam receivers are cloneable and shareable across threads; std's are
-//! not, so the shim wraps the receiver in `Arc<Mutex<..>>`.  The runtime
-//! fabric uses one receiver per rank with modest message rates, so the extra
-//! lock is irrelevant to the simulation results.
+//! The channel is its own `Mutex<VecDeque>` + `Condvar` queue rather than a
+//! wrapper over `std::sync::mpsc`: crossbeam receivers are cloneable and
+//! shareable across threads, and — crucially for the worker pool built on
+//! top — a receiver parked in [`channel::Receiver::recv`] must not hold any
+//! lock while it waits, or one blocked consumer would starve every other.
+//! The condvar releases the queue lock for the whole park, so any number of
+//! consumers can block, poll, and drain concurrently.
+//!
+//! The [`deque`] module provides Chase–Lev-style work-stealing deques
+//! (single-owner LIFO end, multi-thief FIFO end) plus a shared FIFO
+//! [`deque::Injector`], mirroring `crossbeam-deque`'s API surface.  The
+//! `rayon` shim's thread pool is built on these primitives.
 
 #![warn(missing_docs)]
 
-/// Multi-producer channels with timeouts (the `crossbeam::channel` surface
-/// the workspace uses).
+pub mod deque;
+
+/// Multi-producer multi-consumer channels with timeouts (the
+/// `crossbeam::channel` surface the workspace uses).
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
-    use std::time::Duration;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
             Sender {
-                inner: self.inner.clone(),
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake every parked receiver so they observe disconnection.
+                self.shared.ready.notify_all();
             }
         }
     }
@@ -38,14 +76,29 @@ pub mod channel {
     /// The receiving half of an unbounded channel (cloneable, like
     /// crossbeam's).
     pub struct Receiver<T> {
-        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
             Receiver {
-                inner: Arc::clone(&self.inner),
+                shared: Arc::clone(&self.shared),
             }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
         }
     }
 
@@ -72,47 +125,106 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::try_recv`] — distinct from
+    /// [`RecvTimeoutError`], matching real crossbeam: an empty channel is
+    /// not a timeout.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still exist).
+        Empty,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
         (
-            Sender { inner: tx },
-            Receiver {
-                inner: Arc::new(Mutex::new(rx)),
+            Sender {
+                shared: Arc::clone(&shared),
             },
+            Receiver { shared },
         )
     }
 
     impl<T> Sender<T> {
         /// Send a message, failing only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
-        /// Block until a message arrives or all senders disconnect.
+        /// Block until a message arrives or all senders disconnect.  The
+        /// queue lock is released for the whole wait, so other receivers
+        /// (and senders) are never starved by a parked consumer.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv().map_err(|_| RecvError)
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
 
-        /// Block up to `timeout` for the next message.
+        /// Block up to `timeout` for the next message.  Like
+        /// [`Receiver::recv`], the lock is not held while parked.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
         }
 
         /// Receive without blocking, if a message is already queued.
-        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
-            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            guard.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
-                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
     }
 
@@ -137,12 +249,68 @@ pub mod channel {
         }
 
         #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+            tx.send(1).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            drop(tx);
+            assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+        }
+
+        #[test]
+        fn send_fails_once_all_receivers_are_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            drop(rx);
+            tx.send(1).unwrap();
+            drop(rx2);
+            assert_eq!(tx.send(2).unwrap_err(), SendError(2));
+        }
+
+        #[test]
         fn receiver_is_cloneable_across_threads() {
             let (tx, rx) = unbounded();
             let rx2 = rx.clone();
             let handle = std::thread::spawn(move || rx2.recv().unwrap());
             tx.send(42u64).unwrap();
             assert_eq!(handle.join().unwrap(), 42);
+        }
+
+        /// The regression the rework exists for: a receiver parked in a
+        /// blocking `recv` must not hold the queue lock, or every other
+        /// consumer (even non-blocking `try_recv`) deadlocks behind it.
+        #[test]
+        fn parked_receiver_does_not_starve_other_consumers() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx_parked = rx.clone();
+            let parked = std::thread::spawn(move || rx_parked.recv().unwrap());
+            // Give the thread time to park inside recv().
+            std::thread::sleep(Duration::from_millis(50));
+            // With the old Mutex-over-recv design this call blocked until
+            // the parked receiver returned; now it must answer immediately.
+            let start = Instant::now();
+            assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+            assert!(start.elapsed() < Duration::from_millis(500));
+            tx.send(9).unwrap();
+            assert_eq!(parked.join().unwrap(), 9);
+        }
+
+        #[test]
+        fn two_parked_receivers_each_get_a_message() {
+            let (tx, rx) = unbounded::<u32>();
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)).unwrap())
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let mut got: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
         }
     }
 }

@@ -1,0 +1,166 @@
+//! Type-erased units of work the pool's deques carry.
+//!
+//! A [`JobRef`] is a raw pointer plus an erased execute function.  Stack
+//! jobs ([`StackJob`]) live in the frame of the `join`/`install` caller,
+//! which keeps the frame alive until the job's latch is set; heap jobs
+//! ([`HeapJob`]) carry scope-spawned closures whose completion the scope
+//! counts before returning.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// A type-erased, sendable pointer to a job.  The creator guarantees the
+/// pointee outlives execution (via latch or scope counter).
+pub(crate) struct JobRef {
+    ptr: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: jobs are executed exactly once, and their pointees are kept alive
+// by the protocol described on the job types.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erase a job pointer.
+    ///
+    /// # Safety
+    ///
+    /// `job` must stay valid until `execute` has run, and `execute` must be
+    /// called at most once.
+    pub(crate) unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            ptr: job as *const (),
+            execute_fn: execute_erased::<J>,
+        }
+    }
+
+    /// Run the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, with the pointee still alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.ptr)
+    }
+}
+
+unsafe fn execute_erased<J: Job>(ptr: *const ()) {
+    J::execute(ptr as *const J)
+}
+
+/// A unit of work that knows how to run itself from an erased pointer.
+pub(crate) trait Job {
+    /// Run the job.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live instance and be executed at most once.
+    unsafe fn execute(this: *const Self);
+}
+
+/// The outcome of a completed job.
+pub(crate) enum JobResult<R> {
+    /// Not executed yet.
+    None,
+    /// Completed normally.
+    Ok(R),
+    /// The closure panicked; the payload is propagated at the join point.
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job allocated in the caller's stack frame: the caller blocks (or
+/// steals) until `latch` is set, so the frame outlives execution.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    /// Set once the job has executed (successfully or by panic).
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, latch: L) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// Erase this job.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive until the latch is set, and hand
+    /// the returned ref to at most one executor.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Consume the executed job, returning the closure's result.
+    /// Must only be called after the latch is set.
+    pub(crate) fn into_result(self) -> JobResult<R> {
+        self.result.into_inner()
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        // A panicking task must not hang the pool: catch, stash, and let
+        // the join point rethrow.
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        // The latch is the last touch: after `set`, the owner may free the
+        // frame.
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (scope spawns).  Completion is
+/// tracked by the spawning [`crate::Scope`]'s pending counter, which the
+/// closure itself decrements as its final action.
+pub(crate) struct HeapJob<F: FnOnce() + Send> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Erase this job, transferring ownership to the eventual executor.
+    ///
+    /// # Safety
+    ///
+    /// The returned ref must be executed exactly once (it frees the box),
+    /// and any borrows inside `func` must outlive that execution.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self))
+    }
+}
+
+impl<F: FnOnce() + Send> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        let this = Box::from_raw(this as *mut Self);
+        // Scope spawns wrap `func` in their own catch_unwind; nothing to
+        // catch here.
+        (this.func)();
+    }
+}

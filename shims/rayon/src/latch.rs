@@ -1,0 +1,66 @@
+//! Completion signals between a job and the thread waiting on it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Set exactly once when a job finishes.
+pub(crate) trait Latch {
+    /// Signal completion.  The job's result is published before this.
+    fn set(&self);
+}
+
+/// A latch polled by a worker that steals work while it waits.
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the latch has been set.
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A latch an external (non-pool) thread blocks on.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    done: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Block until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut set = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !*set {
+            set = self.done.wait(set).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut set = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *set = true;
+        drop(set);
+        self.done.notify_all();
+    }
+}

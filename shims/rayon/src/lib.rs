@@ -1,67 +1,80 @@
-//! Minimal sequential stand-in for `rayon`.
+//! A real work-stealing thread pool behind rayon's API surface.
 //!
-//! The `par_*` entry points the workspace uses are mapped onto their
-//! sequential `std` equivalents, which return ordinary iterators — all the
-//! adapters (`enumerate`, `for_each`, ...) keep working, the work just runs
-//! on one thread.  Swapping in real rayon restores parallelism with no
-//! source changes.
+//! Earlier revisions of this shim were a sequential stand-in: the `par_*`
+//! entry points mapped straight onto `std` iterators.  This revision keeps
+//! the exact same call-site surface — `par_iter().map(..).collect()`,
+//! `par_chunks_mut(..).for_each(..)`, `join`, `scope` — but executes it on
+//! a Chase–Lev work-stealing pool built from the deques in the `crossbeam`
+//! shim:
+//!
+//! - one worker thread per configured slot, each owning a LIFO deque that
+//!   other workers steal from FIFO;
+//! - a global FIFO injector for work submitted from non-pool threads;
+//! - `join(a, b)` runs `a` inline and exposes `b` for stealing, and the
+//!   waiting side *works through the queues* instead of blocking, so
+//!   arbitrarily nested joins cannot deadlock;
+//! - parked workers sleep on a generation-counted condvar with a short
+//!   timeout backstop, so an idle pool costs no CPU.
+//!
+//! # Thread count
+//!
+//! The global pool is sized on first use from, in order: `DYNMO_THREADS`,
+//! `RAYON_NUM_THREADS`, then the host's available parallelism.  A value of
+//! `1` gives fully sequential in-place execution (no worker round-trips).
+//! Tests and benches that need a pinned size build their own pool:
+//!
+//! ```
+//! let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+//! let doubled: Vec<i32> = pool.install(|| {
+//!     use rayon::prelude::*;
+//!     vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect()
+//! });
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Every parallel iterator here is *index-addressable*: the element at
+//! index `i` is computed from index `i` alone, and `collect` writes it into
+//! slot `i` of the output.  Work-stealing only changes *when* each index
+//! runs, never *where its result lands*, so `map(...).collect()` and
+//! `par_chunks_mut(...).for_each(...)` produce output byte-identical to a
+//! single-threaded run.  The sweep binaries in `crates/bench` rely on this:
+//! their JSON artifacts must not depend on the machine's core count.
+//!
+//! # Panics
+//!
+//! A panicking task does not hang or poison the pool.  Panics are caught at
+//! the job boundary, carried as payloads, and resumed on the thread that
+//! called `join`/`install`/`scope` once all sibling work has finished (so
+//! borrowed data stays alive exactly as long as with sequential execution).
 
 #![warn(missing_docs)]
 
-/// Parallel-iterator traits (sequential here).
-pub mod prelude {
-    /// Slices that can be traversed by mutable chunks "in parallel".
-    pub trait ParallelSliceMut<T> {
-        /// Sequential equivalent of rayon's `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
+mod job;
+mod latch;
+mod registry;
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+pub mod iter;
 
-    /// Slices that can be traversed by shared reference "in parallel".
-    pub trait ParallelSlice<T> {
-        /// Sequential equivalent of rayon's `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-
-        /// Sequential equivalent of rayon's `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Values convertible into a "parallel" iterator.
-    pub trait IntoParallelIterator {
-        /// The sequential iterator standing in for rayon's parallel one.
-        type Iter: Iterator;
-
-        /// Sequential equivalent of rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
+pub use iter::prelude;
+pub use registry::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_chunks_mut_behaves_like_chunks_mut() {
@@ -72,5 +85,179 @@ mod tests {
             }
         });
         assert_eq!(data, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let seq: Vec<usize> = input.iter().map(|&x| x * 3 + 1).collect();
+        let par: Vec<usize> = pool(4).install(|| input.par_iter().map(|&x| x * 3 + 1).collect());
+        assert_eq!(par, seq);
+    }
+
+    /// Skewed task sizes: one huge cell plus many tiny ones.  The order of
+    /// the collected output must still match index order exactly — stealing
+    /// may reorder execution, never results.
+    #[test]
+    fn skewed_task_sizes_preserve_collect_order() {
+        let pool = pool(4);
+        let work: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 200_000 } else { 50 + i })
+            .collect();
+        let out: Vec<u64> = pool.install(|| {
+            work.par_iter()
+                .map(|&iters| {
+                    // Busy work proportional to the cell's skewed size.
+                    let mut acc = 0u64;
+                    for k in 0..iters {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    // Return something that depends on the input only.
+                    iters ^ (acc & 1)
+                })
+                .map(|v| v & !1)
+                .collect()
+        });
+        let expected: Vec<u64> = work.iter().map(|&v| v & !1).collect();
+        assert_eq!(out, expected);
+    }
+
+    /// A panicking closure must propagate to the caller and leave the pool
+    /// usable, not hang a worker or deadlock the join.
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let pool = pool(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let data: Vec<u32> = (0..100).collect();
+                let _: Vec<u32> = data
+                    .par_iter()
+                    .map(|&x| {
+                        if x == 57 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        }));
+        assert!(result.is_err(), "panic must reach the install caller");
+        // The pool must still execute new work afterwards.
+        let sum: u64 = pool.install(|| {
+            let data: Vec<u64> = (0..1000).collect();
+            let v: Vec<u64> = data.par_iter().map(|&x| x).collect();
+            v.iter().sum()
+        });
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn panic_in_join_branch_b_propagates() {
+        let pool = pool(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| crate::join(|| 1 + 1, || -> u32 { panic!("b side") }))
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.install(|| crate::join(|| 2, || 3)), (2, 3));
+    }
+
+    /// Nested joins from inside workers: a worker waiting on a sibling must
+    /// keep executing queued work, or recursion deadlocks the pool.
+    #[test]
+    fn nested_joins_compute_fibonacci() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = pool(4);
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    /// Work-stealing proof: task A blocks until task B sends to it, so the
+    /// test can only finish if another worker steals B while A's worker is
+    /// occupied.  With a broken (non-stealing) pool this times out.
+    #[test]
+    fn steal_unblocks_dependent_tasks() {
+        let pool = pool(2);
+        let (tx, rx) = crossbeam::channel::unbounded::<u32>();
+        pool.install(|| {
+            crate::scope(|s| {
+                s.spawn(move |_| {
+                    let got = rx
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("B was never stolen/executed");
+                    assert_eq!(got, 11);
+                });
+                s.spawn(move |_| {
+                    tx.send(11).unwrap();
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn scope_spawn_runs_all_tasks() {
+        let pool = pool(4);
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            crate::scope(|s| {
+                for _ in 0..100 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    /// Stress-loop for the deque steal race: many rounds of fine-grained
+    /// fan-out where every index must be executed exactly once.
+    #[test]
+    fn steal_race_stress_executes_every_index_once() {
+        let pool = pool(4);
+        for _round in 0..20 {
+            let n = 10_000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.install(|| {
+                let idx: Vec<usize> = (0..n).collect();
+                idx.par_iter().for_each(|&i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "some index ran zero or multiple times"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_is_fully_sequential_and_correct() {
+        let pool = pool(1);
+        let out: Vec<usize> = pool.install(|| {
+            let v: Vec<usize> = (0..100).collect();
+            v.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out, (1..101).collect::<Vec<_>>());
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+
+    #[test]
+    fn into_par_iter_over_vec_and_range() {
+        let pool = pool(2);
+        let squares: Vec<usize> =
+            pool.install(|| (0..50usize).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(squares, (0..50).map(|x| x * x).collect::<Vec<_>>());
+        let owned: Vec<String> = pool.install(|| {
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+                .into_par_iter()
+                .map(|s| s + "!")
+                .collect()
+        });
+        assert_eq!(owned, vec!["a!", "b!", "c!"]);
     }
 }

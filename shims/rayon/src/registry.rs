@@ -1,0 +1,546 @@
+//! The work-stealing thread pool: worker threads, their deques, the global
+//! injector, and the join/scope execution protocol.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::job::{HeapJob, JobRef, JobResult, StackJob};
+use crate::latch::{LockLatch, SpinLatch};
+
+/// Hard ceiling on pool size, guarding against absurd env-var values.
+const MAX_THREADS: usize = 1024;
+
+/// The thread count the global pool uses: `DYNMO_THREADS`, then
+/// `RAYON_NUM_THREADS`, then the host's available parallelism.  A value of
+/// `0` (or anything unparsable) falls through to the next source, matching
+/// rayon's treatment of `RAYON_NUM_THREADS=0` as "default".
+pub(crate) fn default_num_threads() -> usize {
+    for var in ["DYNMO_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sleep coordination: workers with nothing to do park here; every push of
+/// new work bumps the generation and wakes sleepers.  The two-phase
+/// (register-then-recheck) protocol plus a short timeout backstop makes
+/// missed wakeups impossible in the steady state and harmless otherwise.
+struct Sleep {
+    sleepers: AtomicUsize,
+    generation: AtomicU64,
+    lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Sleep {
+            sleepers: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Called after publishing new work.
+    fn notify(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.wake.notify_all();
+        }
+    }
+
+    /// Park unless the generation moved past `seen` since the caller's last
+    /// work scan.
+    fn sleep(&self, seen: u64) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.generation.load(Ordering::SeqCst) == seen {
+            // Timeout backstop: even a (theoretically impossible) missed
+            // wakeup only costs one poll interval.
+            let _ = self
+                .wake
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One work-stealing thread pool: per-worker Chase–Lev deques plus a
+/// global FIFO injector for work arriving from outside the pool.
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep: Sleep,
+    terminating: AtomicBool,
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+impl Registry {
+    /// Build a pool with `num_threads` workers and spawn them.
+    fn start(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let workers: Vec<Worker<JobRef>> = (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers: workers.iter().map(|w| w.stealer()).collect(),
+            sleep: Sleep::new(),
+            terminating: AtomicBool::new(false),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("dynmo-rayon-{index}"))
+                    .spawn(move || main_loop(registry, index, deque))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// The process-wide pool, built on first use.
+    pub(crate) fn global() -> &'static Arc<Registry> {
+        GLOBAL.get_or_init(|| {
+            let (registry, _detached) = Registry::start(default_num_threads());
+            registry
+        })
+    }
+
+    /// Install `registry` as the global pool.  Fails if the global pool was
+    /// already built.
+    fn set_global(registry: Arc<Registry>) -> Result<(), ()> {
+        GLOBAL.set(registry).map_err(|_| ())
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.stealers.len()
+    }
+
+    /// Queue a job from outside the pool and wake a worker.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.sleep.notify();
+    }
+
+    /// Run `op` on a worker thread of *some* pool: inline when the caller
+    /// already is a worker, otherwise injected into this pool and awaited
+    /// on a blocking latch.
+    pub(crate) fn in_worker<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            op(worker)
+        } else {
+            self.in_worker_cold(op)
+        }
+    }
+
+    fn in_worker_cold<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(
+            || {
+                let worker =
+                    WorkerThread::current().expect("injected job must run on a pool worker");
+                op(worker)
+            },
+            LockLatch::new(),
+        );
+        // Safety: we block on the latch below, so the frame outlives
+        // execution and the ref is handed to exactly one executor.
+        unsafe { self.inject(job.as_job_ref()) };
+        job.latch.wait();
+        match job.into_result() {
+            JobResult::Ok(value) => value,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::None => unreachable!("latch set without a result"),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-worker state, stack-allocated in the worker's main loop.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    deque: Worker<JobRef>,
+    /// xorshift state for randomized steal-victim selection.
+    rng: Cell<u64>,
+}
+
+impl WorkerThread {
+    /// The worker state of the calling thread, if it is a pool worker.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let ptr = CURRENT_WORKER.get();
+        if ptr.is_null() {
+            None
+        } else {
+            // Safety: the pointee lives for the whole worker main loop and
+            // the pointer is only ever dereferenced from that same thread.
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Push a job onto this worker's deque and wake a potential thief.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.sleep.notify();
+    }
+
+    fn next_victim_seed(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
+
+    /// One full scan for work: own deque (LIFO), then the injector, then
+    /// every other worker's deque (FIFO steal) from a random start.
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.deque.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.registry.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        let n = self.registry.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (self.next_victim_seed() % n as u64) as usize;
+        let mut retry = true;
+        while retry {
+            retry = false;
+            for offset in 0..n {
+                let victim = (start + offset) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match self.registry.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Work-steal until `done` turns true (e.g. a join sibling's latch):
+    /// execute whatever is available rather than blocking, so nested joins
+    /// from inside workers can never deadlock the pool.
+    pub(crate) fn wait_until<C: Fn() -> bool>(&self, done: C) {
+        let mut idle_spins = 0u32;
+        while !done() {
+            if let Some(job) = self.find_work() {
+                // Safety: refs found in queues are live and executed once.
+                unsafe { job.execute() };
+                idle_spins = 0;
+            } else if idle_spins < 64 {
+                idle_spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn main_loop(registry: Arc<Registry>, index: usize, deque: Worker<JobRef>) {
+    let worker = WorkerThread {
+        registry,
+        index,
+        deque,
+        rng: Cell::new(0x9e37_79b9_7f4a_7c15 ^ ((index as u64 + 1) << 17)),
+    };
+    CURRENT_WORKER.set(&worker as *const WorkerThread);
+    loop {
+        let generation = worker.registry.sleep.generation();
+        if let Some(job) = worker.find_work() {
+            // Safety: queue refs are live and executed exactly once.  Jobs
+            // catch their own panics, but a stray unwind must not kill the
+            // worker (a dead worker strands its deque), so belt-and-braces.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { job.execute() }));
+            continue;
+        }
+        if worker.registry.terminating.load(Ordering::SeqCst) {
+            break;
+        }
+        worker.registry.sleep.sleep(generation);
+    }
+    CURRENT_WORKER.set(std::ptr::null());
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results.  The calling thread works on `oper_a`; `oper_b` is exposed for
+/// stealing and reclaimed (or stolen back by working through the queue) if
+/// nobody took it.  Panics in either closure propagate to the caller —
+/// after both closures have finished, so borrowed data stays alive exactly
+/// as long as with sequential execution.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    Registry::global().in_worker(|worker| {
+        let job_b = StackJob::new(oper_b, SpinLatch::new());
+        // Safety: this frame blocks (stealing work) until the latch is
+        // set, and pushes the ref to exactly one queue.
+        unsafe { worker.push(job_b.as_job_ref()) };
+        let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+        // Wait for B even when A panicked: B may borrow this frame.
+        worker.wait_until(|| job_b.latch.probe());
+        let result_b = job_b.into_result();
+        match (result_a, result_b) {
+            (Ok(ra), JobResult::Ok(rb)) => (ra, rb),
+            // A's panic wins when both sides panicked, like rayon.
+            (Err(payload), _) => panic::resume_unwind(payload),
+            (Ok(_), JobResult::Panic(payload)) => panic::resume_unwind(payload),
+            (Ok(_), JobResult::None) => unreachable!("latch set without a result"),
+        }
+    })
+}
+
+/// A scope for spawning borrowed work; see [`scope`].
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Invariant over `'scope`, like rayon's.
+    marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// Create a scope whose spawned tasks may borrow non-`'static` data; all
+/// tasks complete before `scope` returns.  The first panic among the
+/// closure and its spawned tasks is resumed after everything finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    Registry::global().in_worker(|worker| {
+        let s = Scope {
+            registry: Arc::clone(worker.registry()),
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+        // Spawned tasks borrow 'scope data: always drain before returning.
+        worker.wait_until(|| s.pending.load(Ordering::Acquire) == 0);
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(value) => {
+                let spawned_panic = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match spawned_panic {
+                    Some(payload) => panic::resume_unwind(payload),
+                    None => value,
+                }
+            }
+        }
+    })
+}
+
+/// A raw `Scope` pointer that can ride inside a `Send` closure; validity is
+/// guaranteed by the scope's pending counter.
+struct ScopePtr(*const ());
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    // Accessor (rather than direct field use in the spawned closure) so
+    // edition-2021 precise capture grabs the Send wrapper, not the raw ptr.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow data outliving the scope.  The task
+    /// runs on the pool; a panic inside it is captured and resumed when the
+    /// scope closes.
+    pub fn spawn<F>(&self, func: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job = HeapJob::new(move || {
+            // Safety: the scope outlives all spawned jobs (pending counter
+            // drained before `scope` returns).
+            let scope = unsafe { &*(scope_ptr.get() as *const Scope<'_>) };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| func(scope)));
+            if let Err(payload) = result {
+                let mut slot = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            // Final touch: after this the scope may be freed.
+            scope.pending.fetch_sub(1, Ordering::Release);
+        });
+        // Safety: executed exactly once; the scope drains before 'scope
+        // data dies.
+        let job_ref = unsafe { job.into_job_ref() };
+        match WorkerThread::current() {
+            Some(worker) if Arc::ptr_eq(worker.registry(), &self.registry) => worker.push(job_ref),
+            _ => self.registry.inject(job_ref),
+        }
+    }
+}
+
+/// Number of threads in the current pool: the enclosing worker's pool when
+/// called from inside one, the global pool otherwise.
+pub fn current_num_threads() -> usize {
+    match WorkerThread::current() {
+        Some(worker) => worker.registry().num_threads(),
+        None => Registry::global().num_threads(),
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] /
+/// [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized [`ThreadPool`] (rayon-compatible
+/// constructor used by tests and benches to pin thread counts).
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count (`0` = host default, like rayon).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        match self.num_threads {
+            Some(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => default_num_threads(),
+        }
+    }
+
+    /// Build a dedicated pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, handles) = Registry::start(self.resolved_threads());
+        Ok(ThreadPool {
+            registry,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// Build the process-global pool.  Fails if it was already built (by an
+    /// earlier call or by first use).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let (registry, _detached) = Registry::start(self.resolved_threads());
+        Registry::set_global(registry).map_err(|()| ThreadPoolBuildError {
+            message: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+/// An explicitly constructed work-stealing pool.  Work run via
+/// [`ThreadPool::install`] — including every `par_*` call made inside —
+/// executes on this pool's workers instead of the global pool's.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Run `op` on this pool and return its result.  Parallel iterators and
+    /// `join`/`scope` calls inside `op` use this pool's workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            if Arc::ptr_eq(worker.registry(), &self.registry) {
+                return op();
+            }
+        }
+        self.registry.in_worker_cold(|_| op())
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminating.store(true, Ordering::SeqCst);
+        self.registry.sleep.notify();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
