@@ -43,7 +43,10 @@ pub use composite::{
 };
 pub use scale::{ExperimentScale, ScaledSchedules};
 pub use serving::{
-    run_serving_cell, run_serving_sweep, ServingCase, ServingCell, ServingSweepConfig,
+    run_serving_cell, run_serving_cell_recorded, run_serving_sweep, ServingCase, ServingCell,
+    ServingSweepConfig,
 };
-pub use sweep::{run_sweep, SweepCase, SweepCell, SweepConfig};
+pub use sweep::{
+    run_cell, run_cell_recorded, run_sweep, run_sweep_recorded, SweepCase, SweepCell, SweepConfig,
+};
 pub use table::{dump_json, fmt, pct, Table};

@@ -10,12 +10,15 @@
 //! `results/serving_sweep.json`, one object per cell (schema in
 //! `crates/bench/README.md`).
 
+use std::sync::Arc;
+
 use dynmo_dynamics::{DynamismEngine, EarlyExitEngine, EarlyExitMethod};
 use dynmo_model::Model;
 use dynmo_serve::{
-    serve, ArrivalProcess, AutoscalerConfig, LengthModel, RequestTrace, ServeBalancerKind,
-    ServingConfig,
+    ArrivalProcess, AutoscalerConfig, LengthModel, RequestTrace, ServeBalancerKind, ServingConfig,
+    ServingEngine,
 };
+use dynmo_telemetry::{NullRecorder, Recorder};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -189,6 +192,13 @@ fn sweep_lengths() -> LengthModel {
 
 /// Serve one sweep point.
 pub fn run_serving_cell(case: &ServingCase) -> ServingCell {
+    run_serving_cell_recorded(case, Arc::new(NullRecorder))
+}
+
+/// Serve one sweep point with a telemetry recorder attached (engine steps
+/// become per-replica spans, scale events become markers).  The returned
+/// cell is byte-identical to [`run_serving_cell`]'s.
+pub fn run_serving_cell_recorded(case: &ServingCase, recorder: Arc<dyn Recorder>) -> ServingCell {
     let trace = RequestTrace::generate(&case.process, case.duration, &sweep_lengths(), case.seed);
     let mut config = ServingConfig::small(1);
     config.balancer = case.balancer;
@@ -209,7 +219,10 @@ pub fn run_serving_cell(case: &ServingCase) -> ServingCell {
     } else {
         None
     };
-    let report = serve(config, &trace, engine).expect("sweep cell serves its trace");
+    let report = ServingEngine::new(config)
+        .expect("sweep cell config is valid")
+        .with_recorder(recorder)
+        .serve(&trace, engine);
     ServingCell {
         trace: trace.label.clone(),
         early_exit: case.early_exit,

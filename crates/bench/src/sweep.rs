@@ -11,6 +11,7 @@
 use dynmo_model::{ClusterConfig, DeviceSpec, ModelConfig};
 use dynmo_pipeline::load::StageLoad;
 use dynmo_pipeline::{CommCostModel, PipelineSimulator, ScheduleKind};
+use dynmo_telemetry::Recorder;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +147,19 @@ fn sweep_stage_loads(model: &ModelConfig, stages: usize, imbalance: f64) -> Vec<
 
 /// Simulate one sweep point.
 pub fn run_cell(gpt_layers: usize, case: &SweepCase) -> SweepCell {
+    run_cell_recorded(gpt_layers, case, &dynmo_telemetry::NullRecorder, 0)
+}
+
+/// Simulate one sweep point, recording the iteration's per-rank timeline
+/// into `recorder` under group `group` (one Perfetto process per cell).
+/// The returned cell is byte-identical to [`run_cell`]'s — the recorder
+/// observes the simulation, it never perturbs it.
+pub fn run_cell_recorded(
+    gpt_layers: usize,
+    case: &SweepCase,
+    recorder: &dyn Recorder,
+    group: usize,
+) -> SweepCell {
     let model = ModelConfig::gpt(gpt_layers);
     let cluster = ClusterConfig {
         gpus_per_node: 4,
@@ -156,6 +170,7 @@ pub fn run_cell(gpt_layers: usize, case: &SweepCase) -> SweepCell {
     let loads = sweep_stage_loads(&model, case.stages, case.imbalance);
     let simulator = PipelineSimulator::new(CommCostModel::new(cluster), case.schedule);
     let report = simulator.simulate(&model, &loads, case.microbatches);
+    recorder.record_iteration(group, 0, 0.0, &report);
     let tokens = (case.microbatches * model.micro_batch_size * model.seq_len) as u64;
     SweepCell {
         schedule: case.schedule.label(),
@@ -178,6 +193,18 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepCell> {
     cases
         .par_iter()
         .map(|case| run_cell(config.gpt_layers, case))
+        .collect()
+}
+
+/// [`run_sweep`] with a telemetry recorder attached: cell `i` of the grid
+/// records its timeline under group `i`.  The rows come back in the same
+/// grid order with the same bytes as the unrecorded sweep.
+pub fn run_sweep_recorded(config: &SweepConfig, recorder: &dyn Recorder) -> Vec<SweepCell> {
+    let cases = config.cells();
+    cases
+        .par_iter()
+        .enumerate()
+        .map(|(group, case)| run_cell_recorded(config.gpt_layers, case, recorder, group))
         .collect()
 }
 

@@ -8,10 +8,9 @@
 //! assignment together with the time spent in each phase so the trainer can
 //! charge the overhead the way the paper's Figure 4 does.
 
-use std::time::Instant;
-
 use dynmo_dynamics::RebalanceFrequency;
 use dynmo_pipeline::{CommCostModel, LayerLoad, StageAssignment};
+use dynmo_telemetry::Stopwatch;
 use serde::{Deserialize, Serialize};
 
 use crate::balancer::{BalanceObjective, BalanceRequest, LoadBalancer};
@@ -80,6 +79,9 @@ pub struct RebalanceOutcome {
     pub migration: MigrationPlan,
     /// Wall-clock seconds the balancing algorithm itself took (measured).
     pub algorithm_time: f64,
+    /// Wall-clock seconds spent planning the layer migration (measured;
+    /// feeds `OverheadBreakdown.measured`, never simulated results).
+    pub planning_time: f64,
     /// Simulated migration time (from the communication model).
     pub migration_time: f64,
     /// Rounds used by the balancer (diffusion) or 1 (partition).
@@ -151,7 +153,7 @@ impl RebalanceController {
         min_workers: usize,
         num_microbatches: usize,
     ) -> RebalanceOutcome {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut active_workers = current.num_stages();
         let mut released_workers = Vec::new();
 
@@ -185,11 +187,12 @@ impl RebalanceController {
             objective: self.objective,
         };
         let outcome = self.balancer.rebalance(&request);
-        let algorithm_time = started.elapsed().as_secs_f64();
+        let algorithm_time = started.elapsed_seconds();
 
         // Step 3: migration plan and its exposed cost (most of the transfer
         // is overlapped with the backward pass, per §3.3.1).
-        let migration = MigrationPlan::between(current, &outcome.assignment, loads);
+        let (migration, planning_time) =
+            Stopwatch::time(|| MigrationPlan::between(current, &outcome.assignment, loads));
         let migration_time = migration.cost(comm) * MIGRATION_EXPOSED_FRACTION;
 
         // Step 4: cost/benefit gate.  Rebalancing chases per-iteration noise
@@ -217,6 +220,7 @@ impl RebalanceController {
                     released_workers: Vec::new(),
                     migration: MigrationPlan::default(),
                     algorithm_time,
+                    planning_time,
                     migration_time: 0.0,
                     rounds: outcome.rounds,
                 };
@@ -229,6 +233,7 @@ impl RebalanceController {
             released_workers,
             migration,
             algorithm_time,
+            planning_time,
             migration_time,
             rounds: outcome.rounds,
         }
@@ -307,6 +312,7 @@ mod tests {
         assert!(outcome.released_workers.is_empty());
         assert_eq!(outcome.assignment.num_layers(), 16);
         assert!(outcome.algorithm_time >= 0.0);
+        assert!(outcome.planning_time >= 0.0);
         assert!(outcome.rounds >= 1);
         // The skewed load profile forces some migration.
         assert!(!outcome.migration.is_empty());

@@ -32,7 +32,7 @@ use dynmo_dynamics::rng::Prng;
 use dynmo_pipeline::{LayerLoad, StageAssignment};
 use dynmo_resilience::{
     Checkpoint, CheckpointCostModel, CheckpointStore, LayerState, MemoryCheckpointStore,
-    TrainerState,
+    TimedStore, TrainerState,
 };
 use dynmo_runtime::{
     launch, Communicator, FaultInjector, FaultPlan, Payload, RankCtx, RuntimeError,
@@ -277,7 +277,7 @@ pub struct ResilientRunReport {
 /// Shared bookkeeping the ranks update through locks/atomics, standing in
 /// for the control plane (job manager + metrics store) of a real cluster.
 struct SharedState {
-    store: Mutex<MemoryCheckpointStore>,
+    store: Mutex<TimedStore<MemoryCheckpointStore>>,
     job_manager: Mutex<MockJobManager>,
     overhead: Mutex<OverheadBreakdown>,
     recoveries: Mutex<Vec<RecoveryEvent>>,
@@ -288,7 +288,7 @@ struct SharedState {
 impl SharedState {
     fn new(world_size: usize) -> Self {
         SharedState {
-            store: Mutex::new(MemoryCheckpointStore::new()),
+            store: Mutex::new(TimedStore::new(MemoryCheckpointStore::new())),
             job_manager: Mutex::new(MockJobManager::new(world_size)),
             overhead: Mutex::new(OverheadBreakdown::new()),
             recoveries: Mutex::new(Vec::new()),
@@ -568,6 +568,14 @@ pub fn run_resilient(config: &ResilientTrainingConfig) -> Result<ResilientRunRep
         checkpoints_taken: AtomicU64::new(arc.checkpoints_taken.load(Ordering::SeqCst)),
         replayed_iterations: AtomicU64::new(arc.replayed_iterations.load(Ordering::SeqCst)),
     });
+    let mut overhead = shared.overhead.into_inner();
+    {
+        // Fold the store's measured wall-clock I/O into the diagnostic
+        // companion; the modeled `recovery` bucket is untouched.
+        let store = shared.store.lock();
+        overhead.measured.checkpoint_io_seconds += store.io_seconds();
+        overhead.measured.samples += store.io_ops();
+    }
     Ok(ResilientRunReport {
         initial_world_size: config.world_size,
         final_world_size: outcome.world_size,
@@ -579,7 +587,7 @@ pub fn run_resilient(config: &ResilientTrainingConfig) -> Result<ResilientRunRep
         checkpoints_taken: shared.checkpoints_taken.load(Ordering::SeqCst),
         replayed_iterations: shared.replayed_iterations.load(Ordering::SeqCst),
         recoveries: shared.recoveries.into_inner(),
-        overhead: shared.overhead.into_inner(),
+        overhead,
         fleet_events: shared.job_manager.into_inner().events().to_vec(),
     })
 }
@@ -872,7 +880,12 @@ pub fn run_elastic_rescale(
     let job_manager = shared.job_manager.lock().clone();
     let average_allocated = job_manager.average_allocated(config.iterations);
     let layers_conserved = *conserved.lock();
-    let overhead = *shared.overhead.lock();
+    let mut overhead = *shared.overhead.lock();
+    {
+        let store = shared.store.lock();
+        overhead.measured.checkpoint_io_seconds += store.io_seconds();
+        overhead.measured.samples += store.io_ops();
+    }
     Ok(ElasticRescaleReport {
         phase_world_sizes: vec![config.world_size, config.shrink_to, config.world_size],
         layers_conserved,
@@ -1058,6 +1071,11 @@ mod tests {
         assert_eq!(report.overhead.recovery_events, 4);
         assert!(report.final_loss > 0.0);
         assert!(report.fleet_events.is_empty());
+        // The timed store measured real wall-clock seconds for the four
+        // checkpoint writes (diagnostic only — not in the modeled total).
+        assert!(report.overhead.measured.samples >= 4);
+        assert!(report.overhead.measured.checkpoint_io_seconds >= 0.0);
+        assert!(report.overhead.measured.balancer_seconds == 0.0);
     }
 
     #[test]

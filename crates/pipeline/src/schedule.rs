@@ -182,6 +182,24 @@ impl Op {
             chunk,
         }
     }
+
+    /// Compact label used for trace/timeline exports: `F3` (forward of
+    /// micro-batch 3), `B3` (fused backward), `Bi3`/`Bw3` (split backward
+    /// halves), with a `.c<chunk>` suffix for interleaved model chunks
+    /// beyond the first (e.g. `F3.c1`).
+    pub fn trace_label(&self) -> String {
+        let kind = match self.kind {
+            OpKind::Forward => "F",
+            OpKind::Backward => "B",
+            OpKind::BackwardInput => "Bi",
+            OpKind::BackwardWeight => "Bw",
+        };
+        if self.chunk == 0 {
+            format!("{kind}{}", self.microbatch)
+        } else {
+            format!("{kind}{}.c{}", self.microbatch, self.chunk)
+        }
+    }
 }
 
 /// Map position `i` of a rank's forward (or backward) sequence under the

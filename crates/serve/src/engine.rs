@@ -37,7 +37,9 @@ use dynmo_model::ClusterConfig;
 use dynmo_model::{DeviceSpec, KvCacheModel, Model, ModelPreset};
 use dynmo_pipeline::load::{boundary_retention_profile, StageLoad};
 use dynmo_pipeline::{CommCostModel, PipelineSimulator, ScheduleKind, StageAssignment};
+use dynmo_telemetry::{MarkerKind, NullRecorder, Recorder, StreamingSummary};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::autoscale::{Autoscaler, AutoscalerConfig, LoadSignals, ScaleDecision, ScaleEvent};
 use crate::batching::{BatcherConfig, ContinuousBatcher, StepPlan};
@@ -110,6 +112,11 @@ pub struct ServingConfig {
     pub slo: SloTarget,
     /// Autoscaler policy; `None` = fixed capacity.
     pub autoscaler: Option<AutoscalerConfig>,
+    /// Keep per-request lifecycle records in the report.  `false` drops
+    /// them as they complete, so a run's memory stays O(1) in trace length
+    /// (the summaries, counters, and goodput are unaffected: they are
+    /// accumulated online).
+    pub retain_records: bool,
 }
 
 impl ServingConfig {
@@ -138,6 +145,7 @@ impl ServingConfig {
             kv_memory_fraction: 0.8,
             slo: SloTarget::chat_default(),
             autoscaler: None,
+            retain_records: true,
         }
     }
 
@@ -260,6 +268,10 @@ pub struct ServingEngine {
     engine_steps: u64,
     peak_replicas: usize,
     latest_update: LoadUpdate,
+    /// Observability sink (the no-op [`NullRecorder`] by default).  The
+    /// recorder only *observes* — enabling it never changes admission,
+    /// pricing, scaling, or any reported metric.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl ServingEngine {
@@ -346,7 +358,16 @@ impl ServingEngine {
             autoscaler,
             scale_events: Vec::new(),
             engine_steps: 0,
+            recorder: Arc::new(NullRecorder),
         })
+    }
+
+    /// Attach a telemetry recorder: engine steps become per-replica spans,
+    /// scale events become instant markers, and the live replica count is
+    /// sampled as a counter track.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Per-replica KV capacity in tokens.
@@ -382,7 +403,22 @@ impl ServingEngine {
         );
         self.trace_max_kv_need = max_need;
         let total = trace.num_requests();
-        let mut records: Vec<RequestRecord> = Vec::with_capacity(total);
+        let mut records: Vec<RequestRecord> = if self.config.retain_records {
+            Vec::with_capacity(total)
+        } else {
+            Vec::new()
+        };
+        // SLO metrics are accumulated online: streaming sketches for the
+        // three latency series (exact while small, O(1) P² beyond) and a
+        // plain counter for SLO attainment, so the report never needs the
+        // full record vector.
+        let mut ttft_summary = StreamingSummary::new();
+        let mut tpot_summary = StreamingSummary::new();
+        let mut latency_summary = StreamingSummary::new();
+        let mut slo_met = 0u64;
+        let mut completed_count = 0usize;
+        let slo = self.config.slo;
+        let recorder = Arc::clone(&self.recorder);
         // The gateway: a single FCFS queue over the trace.  Requests stay
         // here until a replica pulls them through admission control, so a
         // replica provisioned mid-spike immediately relieves the backlog.
@@ -432,13 +468,26 @@ impl ServingEngine {
             self.engine_steps += 1;
             self.latest_update = update;
             makespan = makespan.max(end);
+            if recorder.enabled() {
+                let name = format!("step p{} d{}", plan.prefill_tokens, plan.decode_tokens);
+                recorder.span(0, idx, &name, start, end);
+            }
 
             let completed = self.replicas[idx].batcher.commit_step(&plan, idx, end);
             for record in completed {
                 if let Some(scaler) = &mut self.autoscaler {
                     scaler.record_completion(end, record.ttft());
                 }
-                records.push(record);
+                ttft_summary.observe(record.ttft());
+                tpot_summary.observe(record.tpot());
+                latency_summary.observe(record.latency());
+                if slo.met_by(&record) {
+                    slo_met += 1;
+                }
+                completed_count += 1;
+                if self.config.retain_records {
+                    records.push(record);
+                }
             }
 
             if self.autoscaler.is_some() {
@@ -468,8 +517,17 @@ impl ServingEngine {
             }
         }
 
-        assert_eq!(records.len(), total, "the scheduler conserves requests");
-        self.build_report(trace, records, makespan)
+        assert_eq!(completed_count, total, "the scheduler conserves requests");
+        self.build_report(
+            trace,
+            records,
+            completed_count,
+            makespan,
+            &ttft_summary,
+            &tpot_summary,
+            &latency_summary,
+            slo_met,
+        )
     }
 
     /// Price one engine step of replica `idx` under the current dynamism
@@ -642,6 +700,17 @@ impl ServingEngine {
             observed_ttft_p99,
             backlog_tokens,
         });
+        self.recorder.instant(
+            0,
+            MarkerKind::ScaleOut,
+            &format!("to {live} replicas"),
+            now,
+            &[
+                ("ttft_p99", format!("{observed_ttft_p99:.4}")),
+                ("backlog_tokens", backlog_tokens.to_string()),
+            ],
+        );
+        self.recorder.counter(0, "live_replicas", now, live as f64);
         true
     }
 
@@ -664,10 +733,11 @@ impl ServingEngine {
                     .autoscaler
                     .as_ref()
                     .map_or(0.0, |s| s.windowed_ttft_p99(now));
+                let live = self.live_replicas();
                 self.scale_events.push(ScaleEvent {
                     time: now,
                     delta: -1,
-                    replicas_after: self.live_replicas(),
+                    replicas_after: live,
                     observed_ttft_p99: p99,
                     backlog_tokens: self
                         .replicas
@@ -676,6 +746,14 @@ impl ServingEngine {
                         .map(|r| r.batcher.outstanding_tokens())
                         .sum(),
                 });
+                self.recorder.instant(
+                    0,
+                    MarkerKind::ScaleIn,
+                    &format!("to {live} replicas"),
+                    now,
+                    &[("ttft_p99", format!("{p99:.4}"))],
+                );
+                self.recorder.counter(0, "live_replicas", now, live as f64);
             }
         }
     }
@@ -688,17 +766,19 @@ impl ServingEngine {
             .count()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_report(
         &mut self,
         trace: &RequestTrace,
         records: Vec<RequestRecord>,
+        completed: usize,
         makespan: f64,
+        ttft: &StreamingSummary,
+        tpot: &StreamingSummary,
+        latency: &StreamingSummary,
+        slo_met: u64,
     ) -> ServingReport {
-        let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
-        let tpots: Vec<f64> = records.iter().map(RequestRecord::tpot).collect();
-        let latencies: Vec<f64> = records.iter().map(RequestRecord::latency).collect();
         let slo = self.config.slo;
-        let met = records.iter().filter(|r| slo.met_by(r)).count();
         let span = makespan.max(f64::MIN_POSITIVE);
         let total_output_tokens: u64 = self
             .replicas
@@ -719,14 +799,15 @@ impl ServingEngine {
         ServingReport {
             trace: trace.label.clone(),
             requests: trace.num_requests(),
-            completed: records.len(),
+            completed,
             makespan,
-            ttft: LatencySummary::from_values(&ttfts),
-            tpot: LatencySummary::from_values(&tpots),
-            latency: LatencySummary::from_values(&latencies),
+            ttft: LatencySummary::from_stats(&ttft.stats()),
+            tpot: LatencySummary::from_stats(&tpot.stats()),
+            latency: LatencySummary::from_stats(&latency.stats()),
             slo,
-            goodput_rps: met as f64 / span,
-            throughput_rps: records.len() as f64 / span,
+            slo_met,
+            goodput_rps: slo_met as f64 / span,
+            throughput_rps: completed as f64 / span,
             output_tokens_per_second: total_output_tokens as f64 / span,
             total_output_tokens,
             total_prefill_tokens,
@@ -935,6 +1016,70 @@ mod tests {
         config.balancer = ServeBalancerKind::Diffusion;
         let report = serve(config, &trace, None).unwrap();
         assert_eq!(report.completed, trace.num_requests());
+    }
+
+    #[test]
+    fn recorder_and_record_dropping_change_no_metric() {
+        use dynmo_telemetry::{Event, MemoryRecorder};
+
+        let process = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            spike_rate: 40.0,
+            spike_start: 10.0,
+            spike_duration: 20.0,
+        };
+        let trace = RequestTrace::generate(&process, 40.0, &lengths(), 21);
+        let mut config = ServingConfig::small(1);
+        config.max_replicas = 4;
+        let config = config.with_autoscaler(AutoscalerConfig::responsive(2.0, 1, 4));
+
+        let baseline = serve(config.clone(), &trace, None).unwrap();
+
+        let recorder = std::sync::Arc::new(MemoryRecorder::new());
+        let mut lean_config = config;
+        lean_config.retain_records = false;
+        let lean = ServingEngine::new(lean_config)
+            .unwrap()
+            .with_recorder(recorder.clone())
+            .serve(&trace, None);
+
+        // Dropping records and attaching a recorder is invisible to every
+        // aggregate — bit for bit.
+        assert!(lean.records.is_empty());
+        assert_eq!(lean.completed, baseline.completed);
+        assert_eq!(lean.slo_met, baseline.slo_met);
+        assert_eq!(lean.ttft.p99.to_bits(), baseline.ttft.p99.to_bits());
+        assert_eq!(lean.tpot.p50.to_bits(), baseline.tpot.p50.to_bits());
+        assert_eq!(lean.latency.mean.to_bits(), baseline.latency.mean.to_bits());
+        assert_eq!(lean.goodput_rps.to_bits(), baseline.goodput_rps.to_bits());
+        assert_eq!(
+            lean.slo_attainment().to_bits(),
+            baseline.slo_attainment().to_bits()
+        );
+        assert_eq!(lean.scale_events, baseline.scale_events);
+
+        // ... while the recorder saw the run's structure: engine-step spans
+        // per replica lane and scale markers mirroring the event log.
+        let events = recorder.snapshot();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, Event::Span(_)))
+            .count();
+        let outs = events
+            .iter()
+            .filter(
+                |e| matches!(e, Event::Instant(i) if i.kind == dynmo_telemetry::MarkerKind::ScaleOut),
+            )
+            .count();
+        let ins = events
+            .iter()
+            .filter(
+                |e| matches!(e, Event::Instant(i) if i.kind == dynmo_telemetry::MarkerKind::ScaleIn),
+            )
+            .count();
+        assert_eq!(spans as u64, lean.engine_steps);
+        assert_eq!(outs, lean.scale_out_events());
+        assert_eq!(ins, lean.scale_in_events());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * **Goodput** — completed requests per second that met the SLO target,
 //!   the metric an autoscaler is actually paid to defend.
 
+use dynmo_telemetry::SummaryStats;
 use serde::{Deserialize, Serialize};
 
 use crate::autoscale::ScaleEvent;
@@ -107,6 +108,12 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarize a series (unsorted; empty series summarize to zeros).
+    ///
+    /// One clone + sort per call — fine for tests and one-off series.  The
+    /// serving engine feeds its per-request latencies through a streaming
+    /// [`dynmo_telemetry::StreamingSummary`] instead (O(1) memory on long
+    /// traces, bit-identical to this path while the series is small) and
+    /// converts via [`LatencySummary::from_stats`].
     pub fn from_values(values: &[f64]) -> Self {
         if values.is_empty() {
             return LatencySummary::default();
@@ -118,6 +125,18 @@ impl LatencySummary {
             p95: percentile(&sorted, 0.95),
             p99: percentile(&sorted, 0.99),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+
+    /// Adopt a streaming sketch's statistics (the P² path of
+    /// [`dynmo_telemetry::StreamingSummary`] uses the same nearest-rank
+    /// definition as [`percentile`] while its exact buffer lasts).
+    pub fn from_stats(stats: &SummaryStats) -> Self {
+        LatencySummary {
+            p50: stats.p50,
+            p95: stats.p95,
+            p99: stats.p99,
+            mean: stats.mean,
         }
     }
 }
@@ -142,6 +161,9 @@ pub struct ServingReport {
     pub latency: LatencySummary,
     /// The SLO target goodput was measured against.
     pub slo: SloTarget,
+    /// Completed requests that met the SLO (counted online, so it is exact
+    /// even when per-request records are not retained).
+    pub slo_met: u64,
     /// Completed-requests-per-second that met the SLO.
     pub goodput_rps: f64,
     /// Completed requests per second, SLO-met or not.
@@ -164,18 +186,18 @@ pub struct ServingReport {
     pub kv_capacity_tokens: usize,
     /// Largest KV reservation (tokens) ever held by a single replica.
     pub peak_kv_tokens: usize,
-    /// Per-request lifecycle records, in completion order.
+    /// Per-request lifecycle records, in completion order (empty when the
+    /// deployment ran with `retain_records: false`).
     pub records: Vec<RequestRecord>,
 }
 
 impl ServingReport {
     /// Fraction of completed requests that met the SLO.
     pub fn slo_attainment(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.completed == 0 {
             return 1.0;
         }
-        self.records.iter().filter(|r| self.slo.met_by(r)).count() as f64
-            / self.records.len() as f64
+        self.slo_met as f64 / self.completed as f64
     }
 
     /// Scale-out events recorded (replicas added).

@@ -1,0 +1,113 @@
+//! A deterministic counter/histogram registry.
+//!
+//! A [`MetricsRegistry`] names a set of monotonically-accumulated counters
+//! and streaming histograms ([`StreamingSummary`] sketches).  Storage is a
+//! `BTreeMap`, so snapshots enumerate metrics in name order and serialize
+//! identically run-to-run — registry output can sit inside pinned
+//! artifacts without breaking byte-identity.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sketch::{StreamingSummary, SummaryStats};
+
+/// Named counters and histogram sketches.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, StreamingSummary>,
+}
+
+/// A point-in-time, name-ordered view of a registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter totals, in name order.
+    pub counters: Vec<(String, f64)>,
+    /// Histogram summaries, in name order.
+    pub histograms: Vec<(String, SummaryStats)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    pub fn incr(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Feed one observation into histogram `name` (created on first use).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Summary of histogram `name` (all zeros if never observed).
+    pub fn histogram(&self, name: &str) -> SummaryStats {
+        self.histograms
+            .get(name)
+            .map(|h| h.stats())
+            .unwrap_or_default()
+    }
+
+    /// Name-ordered snapshot of everything in the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.stats()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        r.incr("requests", 1.0);
+        r.incr("requests", 2.0);
+        assert_eq!(r.counter("requests"), 3.0);
+        assert_eq!(r.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn histograms_summarize_observations() {
+        let mut r = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("ttft", v);
+        }
+        let stats = r.histogram("ttft");
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.p50, 2.0);
+        assert_eq!(stats.mean, 2.5);
+        assert_eq!(r.histogram("missing"), SummaryStats::default());
+    }
+
+    #[test]
+    fn snapshots_enumerate_in_name_order() {
+        let mut r = MetricsRegistry::new();
+        r.incr("zeta", 1.0);
+        r.incr("alpha", 1.0);
+        r.observe("mid", 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        assert_eq!(snap.histograms[0].0, "mid");
+    }
+}

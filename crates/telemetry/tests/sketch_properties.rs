@@ -1,0 +1,139 @@
+//! Property tests pinning the P² sketch against the exact nearest-rank
+//! percentile (ISSUE 7 satellite): exact while the series fits in five
+//! markers, and within a tight quantile band on random Poisson-like and
+//! log-normal samples once streaming.
+
+use dynmo_telemetry::{P2Quantile, StreamingSummary};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile (the serve-crate definition).
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn sorted_copy(values: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted
+}
+
+/// Assert `estimate` lands inside the exact quantile band `q ± slack`.
+fn assert_in_band(values: &[f64], estimate: f64, q: f64, slack: f64) {
+    let sorted = sorted_copy(values);
+    let lo = nearest_rank(&sorted, (q - slack).max(0.001));
+    let hi = nearest_rank(&sorted, (q + slack).min(0.999));
+    assert!(
+        estimate >= lo - 1e-9 && estimate <= hi + 1e-9,
+        "q={q}: estimate {estimate} outside exact band [{lo}, {hi}] (n={})",
+        values.len()
+    );
+}
+
+/// Turn pairs of uniforms into log-normal samples via Box–Muller.
+fn log_normal(uniforms: &[f64], sigma: f64) -> Vec<f64> {
+    uniforms
+        .chunks_exact(2)
+        .map(|uv| {
+            let u = uv[0].clamp(1e-12, 1.0);
+            let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * uv[1]).cos();
+            (sigma * z).exp()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// While n ≤ 5 the sketch IS the exact percentile, bit for bit.
+    #[test]
+    fn exact_up_to_five_observations(
+        values in prop::collection::vec(0.0f64..100.0, 1..6),
+        q_pct in 1u32..100,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let mut sk = P2Quantile::new(q);
+        for v in &values {
+            sk.observe(*v);
+        }
+        prop_assert_eq!(sk.value(), nearest_rank(&sorted_copy(&values), q));
+    }
+
+    /// Streaming on uniform-ish continuous samples stays within a ±4%
+    /// quantile band of the exact percentile for p50/p95.
+    #[test]
+    fn streaming_tracks_exact_on_continuous_samples(
+        values in prop::collection::vec(0.01f64..10.0, 1500..2500),
+    ) {
+        for q in [0.50, 0.95] {
+            let mut sk = P2Quantile::new(q);
+            for v in &values {
+                sk.observe(*v);
+            }
+            assert_in_band(&values, sk.value(), q, 0.04);
+        }
+    }
+
+    /// Log-normal latencies (the shape serving traces actually have).
+    #[test]
+    fn streaming_tracks_exact_on_log_normal_samples(
+        uniforms in prop::collection::vec(0.0001f64..0.9999, 3000..4000),
+        sigma_milli in 100u32..600,
+    ) {
+        let values = log_normal(&uniforms, sigma_milli as f64 / 1000.0);
+        for q in [0.50, 0.95] {
+            let mut sk = P2Quantile::new(q);
+            for v in &values {
+                sk.observe(*v);
+            }
+            assert_in_band(&values, sk.value(), q, 0.04);
+        }
+    }
+
+    /// Discrete Poisson-like counts (heavy ties — the P² edge case).
+    #[test]
+    fn streaming_tracks_exact_on_discrete_counts(
+        counts in prop::collection::vec(0u64..40, 1500..2500),
+    ) {
+        let values: Vec<f64> = counts.iter().map(|c| *c as f64).collect();
+        for q in [0.50, 0.95] {
+            let mut sk = P2Quantile::new(q);
+            for v in &values {
+                sk.observe(*v);
+            }
+            // Ties quantize the achievable band: allow one unit of slack
+            // around the exact band on top of the quantile slack.
+            let sorted = sorted_copy(&values);
+            let lo = nearest_rank(&sorted, (q - 0.05f64).max(0.001)) - 1.0;
+            let hi = nearest_rank(&sorted, (q + 0.05f64).min(0.999)) + 1.0;
+            let est = sk.value();
+            prop_assert!(est >= lo && est <= hi, "q={q}: {est} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The streaming summary in exact mode is bit-identical to the
+    /// sort-based path regardless of input order.
+    #[test]
+    fn summary_exact_mode_matches_sort_path(
+        values in prop::collection::vec(0.0f64..50.0, 0..200),
+    ) {
+        let mut summary = StreamingSummary::new();
+        for v in &values {
+            summary.observe(*v);
+        }
+        let stats = summary.stats();
+        let sorted = sorted_copy(&values);
+        if values.is_empty() {
+            prop_assert_eq!(stats.p50, 0.0);
+            prop_assert_eq!(stats.mean, 0.0);
+        } else {
+            prop_assert_eq!(stats.p50, nearest_rank(&sorted, 0.50));
+            prop_assert_eq!(stats.p95, nearest_rank(&sorted, 0.95));
+            prop_assert_eq!(stats.p99, nearest_rank(&sorted, 0.99));
+            prop_assert_eq!(stats.mean, sorted.iter().sum::<f64>() / sorted.len() as f64);
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`serve`] — continuous-batching inference serving: request traces,
 //!   KV-cache admission control, SLO metrics (TTFT/TPOT/goodput), and an
 //!   elastic autoscaler that grows/shrinks the replica fleet.
+//! * [`telemetry`] — observability: the structured event/span recorder,
+//!   streaming P² quantile sketches, wall-clock profiling scopes, and the
+//!   Chrome-trace-event/Perfetto timeline exporter.
 //! * [`baselines`] — Megatron-LM, DeepSpeed, Tutel, Egeria, AutoFreeze, and
 //!   PipeTransformer comparison points.
 //!
@@ -66,3 +69,4 @@ pub use dynmo_resilience as resilience;
 pub use dynmo_runtime as runtime;
 pub use dynmo_serve as serve;
 pub use dynmo_sparse as sparse;
+pub use dynmo_telemetry as telemetry;
