@@ -38,16 +38,11 @@ fn paper_scale_loads() -> Vec<StageLoad> {
 
 fn bench_event_engine(c: &mut Criterion) {
     let model = ModelConfig::gpt(32);
-    let cluster = ClusterConfig {
-        gpus_per_node: 8,
-        pipeline_stages: PAPER_STAGES,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(8, PAPER_STAGES, 1, DeviceSpec::h100_sxm5());
     let loads = paper_scale_loads();
     let mut group = c.benchmark_group("pipeline_simulate_p32_m512");
     for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
-        let simulator = PipelineSimulator::new(CommCostModel::new(cluster), schedule);
+        let simulator = PipelineSimulator::new(CommCostModel::new(cluster.clone()), schedule);
         group.bench_with_input(
             BenchmarkId::new("event_engine", schedule.label()),
             &loads,
@@ -69,7 +64,7 @@ fn bench_event_engine(c: &mut Criterion) {
         ScheduleKind::Interleaved1F1B { virtual_stages: 2 },
         ScheduleKind::ZeroBubbleH1,
     ] {
-        let simulator = PipelineSimulator::new(CommCostModel::new(cluster), schedule);
+        let simulator = PipelineSimulator::new(CommCostModel::new(cluster.clone()), schedule);
         group.bench_with_input(
             BenchmarkId::new("event_engine", schedule.label()),
             &loads,

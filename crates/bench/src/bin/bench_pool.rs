@@ -184,12 +184,7 @@ fn main() {
             num_layers: layers_per_stage,
         })
         .collect();
-    let cluster = ClusterConfig {
-        gpus_per_node: 8,
-        pipeline_stages: stages,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(8, stages, 1, DeviceSpec::h100_sxm5());
     let sim = PipelineSimulator::new(CommCostModel::new(cluster), ScheduleKind::OneFOneB);
     let nodes = 2 * stages * microbatches; // fwd + bwd per (stage, mb)
     let sequential_sim = sim.clone().with_shard_threshold(usize::MAX);

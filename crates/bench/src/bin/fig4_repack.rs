@@ -87,15 +87,10 @@ fn packed_gpu_sweep(scale: ExperimentScale) {
         for &layers in &layer_counts {
             for &gpus in &[8usize, 6, 4, 2] {
                 let model = Model::from_preset(ModelPreset::Gpt { layers });
-                let cluster = ClusterConfig {
-                    gpus_per_node: 8,
-                    pipeline_stages: gpus,
-                    data_parallel: 1,
-                    device,
-                };
+                let cluster = ClusterConfig::homogeneous(8, gpus, 1, device);
                 let trainer_config = TrainerConfig {
                     num_microbatches: 4 * gpus,
-                    ..TrainerConfig::paper_defaults(cluster, scale.iterations().min(200))
+                    ..TrainerConfig::paper_defaults(cluster.clone(), scale.iterations().min(200))
                 };
 
                 // OOM check against the device capacity before running.
@@ -204,7 +199,7 @@ fn average_gpu_usage(scale: ExperimentScale) {
             };
             let trainer_config = TrainerConfig {
                 num_microbatches: 32,
-                ..TrainerConfig::paper_defaults(cluster, scale.iterations())
+                ..TrainerConfig::paper_defaults(cluster.clone(), scale.iterations())
             };
             let controller = RebalanceController::new(
                 Box::new(PartitionBalancer::new()),

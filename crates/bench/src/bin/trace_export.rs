@@ -42,12 +42,7 @@ const TRACE_PATH: &str = "results/trace_export.trace.json";
 
 fn trainer_config(iterations: u64) -> TrainerConfig {
     TrainerConfig {
-        cluster: ClusterConfig {
-            gpus_per_node: 4,
-            pipeline_stages: STAGES,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        },
+        cluster: ClusterConfig::homogeneous(4, STAGES, 1, DeviceSpec::h100_sxm5()),
         schedule: ScheduleKind::OneFOneB,
         num_iterations: iterations,
         num_microbatches: MICROBATCHES,

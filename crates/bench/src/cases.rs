@@ -322,7 +322,7 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
     let trainer_config = TrainerConfig {
         objective: balancer.objective(),
         schedule,
-        ..TrainerConfig::paper_defaults(cluster, config.scale.iterations())
+        ..TrainerConfig::paper_defaults(cluster.clone(), config.scale.iterations())
     };
 
     let controller = match balancer {
@@ -332,12 +332,12 @@ pub fn run_configuration(config: &CaseConfig, balancer: BalancerKind) -> Configu
         BalancerKind::PartitionByParam | BalancerKind::PartitionByTime => RebalanceController::new(
             Box::new(PartitionBalancer::new()),
             balancer.objective(),
-            repack_policy(config, cluster),
+            repack_policy(config, cluster.clone()),
         ),
         BalancerKind::DiffusionByParam | BalancerKind::DiffusionByTime => RebalanceController::new(
             Box::new(DiffusionBalancer::new()),
             balancer.objective(),
-            repack_policy(config, cluster),
+            repack_policy(config, cluster.clone()),
         ),
     };
 

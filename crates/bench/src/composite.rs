@@ -271,7 +271,7 @@ pub fn run_composite_cell(case: &CompositeCase, scale: ExperimentScale) -> Compo
     let cluster = composite_cluster(scale, case.stack.needs_moe_model());
     let config = TrainerConfig {
         schedule: case.schedule,
-        ..TrainerConfig::paper_defaults(cluster, scale.iterations())
+        ..TrainerConfig::paper_defaults(cluster.clone(), scale.iterations())
     };
     let iterations = config.num_iterations;
     // Checkpoint four times per run; kill two thirds of the way through,

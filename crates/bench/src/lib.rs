@@ -16,6 +16,7 @@
 //! | `composite_sweep` | Beyond the paper — stacked-mechanism (stack × balancer × schedule) grid with crash/recovery checks |
 //! | `serving_sweep` | Beyond the paper — continuous-batching inference (trace × early-exit × balancer × elasticity) SLO grid |
 //! | `bench_pool` | Beyond the paper — work-stealing pool wall-clock (sweep bins and the sharded Kahn engine at 1 vs host threads), written to `results/BENCH_pool.json` |
+//! | `hetero_sweep` | Beyond the paper — fig3-style margin comparison on a uniform vs 3-generation (H100/A100/V100) cluster, written to `results/hetero_sweep.json` |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the
@@ -28,6 +29,7 @@
 
 pub mod cases;
 pub mod composite;
+pub mod hetero;
 pub mod scale;
 pub mod serving;
 pub mod sweep;
@@ -40,6 +42,10 @@ pub use cases::{
 pub use composite::{
     composite_grid, run_composite_cell, run_composite_sweep, standard_stacks, CompositeBalancer,
     CompositeCase, CompositeCell, Mechanism, StackSpec,
+};
+pub use hetero::{
+    run_hetero_cell, run_hetero_sweep, ClusterFlavor, HeteroConfiguration, HeteroMargin, HeteroRow,
+    HeteroSweepReport, HETERO_CASES,
 };
 pub use scale::{ExperimentScale, ScaledSchedules};
 pub use serving::{

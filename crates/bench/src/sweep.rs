@@ -161,12 +161,7 @@ pub fn run_cell_recorded(
     group: usize,
 ) -> SweepCell {
     let model = ModelConfig::gpt(gpt_layers);
-    let cluster = ClusterConfig {
-        gpus_per_node: 4,
-        pipeline_stages: case.stages,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(4, case.stages, 1, DeviceSpec::h100_sxm5());
     let loads = sweep_stage_loads(&model, case.stages, case.imbalance);
     let simulator = PipelineSimulator::new(CommCostModel::new(cluster), case.schedule);
     let report = simulator.simulate(&model, &loads, case.microbatches);

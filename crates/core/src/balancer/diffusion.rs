@@ -87,11 +87,27 @@ pub fn potential(stage_loads: &[f64]) -> f64 {
 /// loads (integer-valued f64s, as the property test uses) the result is
 /// bit-equal to recomputing [`potential`] on the moved load vector.
 pub fn potential_after_move(stage_loads: &[f64], phi: f64, from: usize, to: usize, w: f64) -> f64 {
+    potential_after_asymmetric_move(stage_loads, phi, from, to, w, w)
+}
+
+/// [`potential_after_move`] for heterogeneous stages, where one layer's
+/// *time* differs between the source and destination device: the source
+/// sheds `dw_from` and the destination gains `dw_to`.  With `dw_from ==
+/// dw_to` this is exactly the symmetric update (the homogeneous path calls
+/// it with the raw weight on both sides).
+pub fn potential_after_asymmetric_move(
+    stage_loads: &[f64],
+    phi: f64,
+    from: usize,
+    to: usize,
+    dw_from: f64,
+    dw_to: f64,
+) -> f64 {
     debug_assert_ne!(from, to);
     let old_from = stage_loads[from];
     let old_to = stage_loads[to];
-    let new_from = old_from - w;
-    let new_to = old_to + w;
+    let new_from = old_from - dw_from;
+    let new_to = old_to + dw_to;
     let mut delta = (new_from - new_to).abs() - (old_from - old_to).abs();
     for (j, &load) in stage_loads.iter().enumerate() {
         if j == from || j == to {
@@ -126,9 +142,26 @@ impl LoadBalancer for DiffusionBalancer {
         };
         let weights: Vec<f64> = (0..num_layers).map(|l| request.weight(l)).collect();
         let total: f64 = weights.iter().sum();
-        let gamma = self.gamma_fraction * total;
+        // γ is scale-free against the total *time*; on a heterogeneous
+        // cluster the fastest device sets the time scale of the load vector
+        // below.  (With all speeds 1.0 both divisions are exact no-ops, so
+        // the homogeneous bits are untouched.)
+        let gamma = match &request.stage_speeds {
+            Some(speeds) => {
+                let max_speed = speeds.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+                self.gamma_fraction * (total / max_speed)
+            }
+            None => self.gamma_fraction * total,
+        };
 
+        // Stage loads in the time domain: raw objective weight over the
+        // stage's effective speed.
         let mut loads = stage_weights(&assignment, request.loads, request.objective);
+        if let Some(speeds) = &request.stage_speeds {
+            for (s, load) in loads.iter_mut().enumerate() {
+                *load /= speeds[s];
+            }
+        }
         let mut phi = potential(&loads);
         let mut rounds = 0u64;
 
@@ -140,22 +173,27 @@ impl LoadBalancer for DiffusionBalancer {
                         phi: f64,
                         from: usize,
                         to: usize|
-         -> Option<(usize, f64)> {
+         -> Option<(usize, f64, f64, f64)> {
             let layer = boundary_layer(assignment, from, to)?;
             let w = weights[layer];
+            // The layer's *time* on each endpoint's device.
+            let (dw_from, dw_to) = match &request.stage_speeds {
+                Some(speeds) => (w / speeds[from], w / speeds[to]),
+                None => (w, w),
+            };
             let new_phi = if self.use_incremental_potential {
-                potential_after_move(loads, phi, from, to, w)
+                potential_after_asymmetric_move(loads, phi, from, to, dw_from, dw_to)
             } else {
                 let mut new_loads = loads.to_vec();
-                new_loads[from] -= w;
-                new_loads[to] += w;
+                new_loads[from] -= dw_from;
+                new_loads[to] += dw_to;
                 potential(&new_loads)
             };
             // Memory check on the destination stage.
             let mut dest_layers = assignment.layers_of(to);
             dest_layers.push(layer);
-            let fits = request.stage_memory(to, &dest_layers) <= request.memory_capacity;
-            (new_phi < phi - 1e-15 && fits).then_some((layer, new_phi))
+            let fits = request.stage_memory(to, &dest_layers) <= request.capacity_of(to);
+            (new_phi < phi - 1e-15 && fits).then_some((layer, new_phi, dw_from, dw_to))
         };
 
         while rounds < self.max_rounds && phi > gamma {
@@ -181,7 +219,7 @@ impl LoadBalancer for DiffusionBalancer {
                 (right, left)
             };
             let mut committed = evaluate(&assignment, &loads, phi, from, to)
-                .map(|(layer, new_phi)| (layer, new_phi, from, to));
+                .map(|(layer, new_phi, dw_from, dw_to)| (layer, new_phi, dw_from, dw_to, from, to));
             if committed.is_none() {
                 // The max-gap pair cannot improve; try any other adjacent
                 // pair before declaring convergence.
@@ -191,19 +229,20 @@ impl LoadBalancer for DiffusionBalancer {
                     } else {
                         (s + 1, s)
                     };
-                    if let Some((layer, new_phi)) = evaluate(&assignment, &loads, phi, from, to) {
-                        committed = Some((layer, new_phi, from, to));
+                    if let Some((layer, new_phi, dw_from, dw_to)) =
+                        evaluate(&assignment, &loads, phi, from, to)
+                    {
+                        committed = Some((layer, new_phi, dw_from, dw_to, from, to));
                         break;
                     }
                 }
             }
-            let Some((layer, new_phi, from, to)) = committed else {
+            let Some((layer, new_phi, dw_from, dw_to, from, to)) = committed else {
                 break; // no single-layer move improves φ: converged
             };
             assignment.move_layer(layer, to).expect("valid move");
-            let w = weights[layer];
-            loads[from] -= w;
-            loads[to] += w;
+            loads[from] -= dw_from;
+            loads[to] += dw_to;
             phi = new_phi;
         }
 
@@ -429,5 +468,63 @@ mod tests {
     #[test]
     fn balancer_name_is_stable() {
         assert_eq!(DiffusionBalancer::new().name(), "diffusion");
+    }
+
+    #[test]
+    fn unit_speeds_are_bit_identical_to_the_homogeneous_path() {
+        let times: Vec<f64> = (0..40)
+            .map(|i| 0.25 + (((i as u64 + 1) * 2654435761) % 997) as f64 / 300.0)
+            .collect();
+        let loads = loads_from_times(&times);
+        let current = StageAssignment::uniform(40, 8);
+        let plain = BalanceRequest::new(&loads, 8, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current);
+        let unit = plain.clone().with_stage_speeds(Some(vec![1.0; 8]));
+        let a = DiffusionBalancer::new().rebalance(&plain);
+        let b = DiffusionBalancer::new().rebalance(&unit);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.bottleneck.to_bits(), b.bottleneck.to_bits());
+    }
+
+    #[test]
+    fn slow_stages_end_up_with_fewer_layers() {
+        let loads = loads_from_times(&[1.0; 24]);
+        let current = StageAssignment::uniform(24, 4);
+        // Stage 3 runs at a quarter speed: diffusion should drain it.
+        let request = BalanceRequest::new(&loads, 4, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current)
+            .with_stage_speeds(Some(vec![1.0, 1.0, 1.0, 0.25]));
+        let outcome = DiffusionBalancer::new().rebalance(&request);
+        let counts = outcome.assignment.counts();
+        assert_eq!(counts.iter().sum::<usize>(), 24);
+        assert!(counts[3] < counts[0], "counts {counts:?}");
+        // The time bottleneck beats the uniform split's slow stage (6
+        // layers / 0.25 = 24).
+        assert!(
+            outcome.bottleneck < 24.0,
+            "bottleneck {}",
+            outcome.bottleneck
+        );
+    }
+
+    #[test]
+    fn per_stage_capacities_gate_diffusion_moves() {
+        // Stage 1 is fast but tiny: diffusion may not overfill it.
+        let mut loads = loads_from_times(&[1.0; 8]);
+        for l in loads.iter_mut() {
+            l.static_bytes = 1_000;
+            l.activation_bytes = 0;
+        }
+        let current = StageAssignment::uniform(8, 2);
+        let request = BalanceRequest::new(&loads, 2, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current)
+            .with_inflight(vec![0, 0])
+            .with_stage_speeds(Some(vec![1.0, 8.0]))
+            .with_stage_capacities(Some(vec![u64::MAX, 5_000]));
+        let outcome = DiffusionBalancer::new().rebalance(&request);
+        let counts = outcome.assignment.counts();
+        assert!(counts[1] <= 5, "counts {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 8);
     }
 }

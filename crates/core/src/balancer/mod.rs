@@ -71,6 +71,14 @@ pub struct BalanceRequest<'a> {
     pub current: Option<&'a StageAssignment>,
     /// The balancing objective.
     pub objective: BalanceObjective,
+    /// Per-stage effective speed relative to the reference device (`None` =
+    /// homogeneous; arithmetic on that path must stay bit-identical to the
+    /// speed-free code).  A layer of weight `w` costs `w / speed[s]` time on
+    /// stage `s`.
+    pub stage_speeds: Option<Vec<f64>>,
+    /// Per-stage memory capacities for mixed-generation clusters (`None` =
+    /// every stage has `memory_capacity`).
+    pub stage_capacities: Option<Vec<u64>>,
 }
 
 impl<'a> BalanceRequest<'a> {
@@ -89,6 +97,8 @@ impl<'a> BalanceRequest<'a> {
             inflight: vec![num_stages.min(4); num_stages],
             current: None,
             objective,
+            stage_speeds: None,
+            stage_capacities: None,
         }
     }
 
@@ -105,9 +115,44 @@ impl<'a> BalanceRequest<'a> {
         self
     }
 
+    /// Set per-stage effective speeds (builder style; `None` clears them).
+    pub fn with_stage_speeds(mut self, speeds: Option<Vec<f64>>) -> Self {
+        if let Some(s) = &speeds {
+            assert_eq!(s.len(), self.num_stages);
+            assert!(s.iter().all(|&v| v > 0.0), "stage speeds must be positive");
+        }
+        self.stage_speeds = speeds;
+        self
+    }
+
+    /// Set per-stage memory capacities (builder style; `None` clears them).
+    pub fn with_stage_capacities(mut self, capacities: Option<Vec<u64>>) -> Self {
+        if let Some(c) = &capacities {
+            assert_eq!(c.len(), self.num_stages);
+        }
+        self.stage_capacities = capacities;
+        self
+    }
+
     /// The weight of layer `l` under the request's objective.
     pub fn weight(&self, l: usize) -> f64 {
         self.objective.weight(&self.loads[l])
+    }
+
+    /// Effective speed of stage `s` (1.0 on the homogeneous path).
+    pub fn speed(&self, s: usize) -> f64 {
+        match &self.stage_speeds {
+            Some(speeds) => speeds[s],
+            None => 1.0,
+        }
+    }
+
+    /// Memory capacity of stage `s`.
+    pub fn capacity_of(&self, s: usize) -> u64 {
+        match &self.stage_capacities {
+            Some(capacities) => capacities[s],
+            None => self.memory_capacity,
+        }
     }
 
     /// Memory bytes stage `s` would need to host the given layers.

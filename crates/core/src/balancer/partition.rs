@@ -93,6 +93,114 @@ pub fn partition_balanced(weights: &[f64], parts: usize) -> Vec<usize> {
     counts
 }
 
+/// Device-weighted greedy probe: can `weights` be split into contiguous
+/// groups, one per entry of `speeds`, such that every stage `s` carries at
+/// most `limit · speeds[s]` weight (i.e. at most `limit` *time*)?  Stages
+/// may be skipped — a slow stage whose cap cannot hold the next layer alone
+/// is left empty when some later stage can — which reduces to the
+/// homogeneous probe when every speed is 1.0 (all caps equal, so a skip is
+/// never taken and the stage walk mirrors the group counter).
+fn feasible_weighted(weights: &[f64], speeds: &[f64], limit: f64) -> bool {
+    let parts = speeds.len();
+    let mut stage = 0usize;
+    let mut current = 0.0f64;
+    let mut count = 0usize;
+    for &w in weights {
+        loop {
+            let cap = limit * speeds[stage];
+            if count > 0 && current + w > cap {
+                stage += 1;
+                if stage >= parts {
+                    return false;
+                }
+                current = 0.0;
+                count = 0;
+                continue;
+            }
+            if count == 0 && w > cap {
+                // The layer does not fit this stage even alone: feasible
+                // only by leaving the stage empty for a later, faster one.
+                if !speeds[stage + 1..].iter().any(|&s| w <= limit * s) {
+                    return false;
+                }
+                stage += 1;
+                // `any` found a later stage, so this cannot run off the end.
+                continue;
+            }
+            current += w;
+            count += 1;
+            break;
+        }
+    }
+    true
+}
+
+/// Device-weighted [`partition_balanced`]: split `weights` into
+/// `speeds.len()` contiguous groups minimizing the maximum *stage time*
+/// `sum(group) / speeds[s]`; returns per-group counts.
+///
+/// With every speed exactly 1.0 this reproduces [`partition_balanced`]
+/// bit-for-bit: the search bounds, the probe's booleans, the bisection
+/// trajectory and the final greedy walk all collapse onto the homogeneous
+/// algorithm's exact arithmetic.
+pub fn partition_balanced_weighted(weights: &[f64], speeds: &[f64]) -> Vec<usize> {
+    let parts = speeds.len();
+    assert!(parts > 0, "need at least one part");
+    assert!(
+        speeds.iter().all(|&s| s > 0.0),
+        "stage speeds must be positive"
+    );
+    if weights.is_empty() {
+        return vec![0; parts];
+    }
+    let total: f64 = weights.iter().sum();
+    let max_single = weights.iter().copied().fold(0.0, f64::max);
+    let max_speed = speeds.iter().copied().fold(0.0, f64::max);
+    let min_speed = speeds.iter().copied().fold(f64::INFINITY, f64::min);
+    let sum_speeds: f64 = speeds.iter().sum();
+    // Binary search on the bottleneck *time*.  `total / min_speed` (all
+    // layers on the slowest stage) is always feasible; the biggest layer on
+    // the fastest stage and the perfectly-spread time bound it below.
+    let mut lo = (max_single / max_speed).max(total / sum_speeds);
+    let mut hi = total / min_speed;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if feasible_weighted(weights, speeds, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let limit = hi * (1.0 + 1e-12);
+    let mut counts = vec![0usize; parts];
+    let mut stage = 0usize;
+    let mut current = 0.0f64;
+    for &w in weights {
+        loop {
+            let cap = limit * speeds[stage];
+            let can_close = stage < parts - 1;
+            if counts[stage] > 0 && current + w > cap && can_close {
+                stage += 1;
+                current = 0.0;
+                continue;
+            }
+            if counts[stage] == 0
+                && w > cap
+                && can_close
+                && speeds[stage + 1..].iter().any(|&s| w <= limit * s)
+            {
+                stage += 1;
+                current = 0.0;
+                continue;
+            }
+            counts[stage] += 1;
+            current += w;
+            break;
+        }
+    }
+    counts
+}
+
 impl LoadBalancer for PartitionBalancer {
     fn name(&self) -> String {
         "partition".to_string()
@@ -102,7 +210,10 @@ impl LoadBalancer for PartitionBalancer {
         let weights: Vec<f64> = (0..request.loads.len())
             .map(|l| request.weight(l))
             .collect();
-        let mut counts = partition_balanced(&weights, request.num_stages);
+        let mut counts = match &request.stage_speeds {
+            Some(speeds) => partition_balanced_weighted(&weights, speeds),
+            None => partition_balanced(&weights, request.num_stages),
+        };
 
         // Memory feasibility pass: if the weight-balanced split blows a
         // worker's memory budget, fall back to partitioning by memory bytes
@@ -125,11 +236,22 @@ impl LoadBalancer for PartitionBalancer {
                         as f64
                 })
                 .collect();
-            counts = partition_balanced(&mem_weights, request.num_stages);
+            counts = match &request.stage_capacities {
+                // Uneven memory: give each stage a byte cap proportional to
+                // its capacity (the probe's limit scaling absorbs units).
+                Some(caps) => {
+                    let cap_speeds: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
+                    partition_balanced_weighted(&mem_weights, &cap_speeds)
+                }
+                None => partition_balanced(&mem_weights, request.num_stages),
+            };
         }
 
         let assignment = StageAssignment::from_counts(&counts);
-        let bottleneck = stage_bottleneck(&weights, &counts);
+        let bottleneck = match &request.stage_speeds {
+            Some(speeds) => stage_bottleneck_weighted(&weights, speeds, &counts),
+            None => stage_bottleneck(&weights, &counts),
+        };
         BalanceOutcome {
             assignment,
             rounds: 1,
@@ -149,11 +271,23 @@ fn stage_bottleneck(weights: &[f64], counts: &[usize]) -> f64 {
     best
 }
 
+/// Max per-stage *time* (`sum of weights / speed`) of a weighted split.
+fn stage_bottleneck_weighted(weights: &[f64], speeds: &[f64], counts: &[usize]) -> f64 {
+    let mut best = 0.0f64;
+    let mut idx = 0usize;
+    for (stage, &c) in counts.iter().enumerate() {
+        let sum: f64 = weights[idx..idx + c].iter().sum();
+        best = best.max(sum / speeds[stage]);
+        idx += c;
+    }
+    best
+}
+
 fn memory_ok(request: &BalanceRequest<'_>, counts: &[usize]) -> bool {
     let mut idx = 0usize;
     for (stage, &c) in counts.iter().enumerate() {
         let layers: Vec<usize> = (idx..idx + c).collect();
-        if request.stage_memory(stage, &layers) > request.memory_capacity {
+        if request.stage_memory(stage, &layers) > request.capacity_of(stage) {
             return false;
         }
         idx += c;
@@ -344,5 +478,76 @@ mod tests {
     #[test]
     fn balancer_name_is_stable() {
         assert_eq!(PartitionBalancer::new().name(), "partition");
+    }
+
+    #[test]
+    fn weighted_partition_with_unit_speeds_is_bit_identical_to_homogeneous() {
+        let weights: Vec<f64> = (0..24)
+            .map(|i| 1.0 + (i as f64 * 0.37).sin().abs())
+            .collect();
+        for parts in [1, 2, 3, 4, 7, 24, 30] {
+            let speeds = vec![1.0; parts];
+            assert_eq!(
+                partition_balanced_weighted(&weights, &speeds),
+                partition_balanced(&weights, parts),
+                "parts = {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_partition_gives_fast_stages_more_layers() {
+        let weights = vec![1.0; 24];
+        // Stage 0 is 3× faster than stage 2.
+        let speeds = vec![3.0, 2.0, 1.0];
+        let counts = partition_balanced_weighted(&weights, &speeds);
+        assert_eq!(counts.iter().sum::<usize>(), 24);
+        assert!(counts[0] > counts[2], "counts {counts:?}");
+        // The weighted bottleneck beats the speed-blind even split's time on
+        // the slow stage (8 layers / speed 1.0 = 8.0).
+        let t = stage_bottleneck_weighted(&weights, &speeds, &counts);
+        assert!(t < 8.0, "bottleneck {t}");
+    }
+
+    #[test]
+    fn weighted_probe_can_leave_a_slow_stage_empty() {
+        // One layer that only fits the fast stage: the probe must skip the
+        // slow stage rather than fail.
+        let weights = vec![10.0];
+        let speeds = vec![0.1, 1.0];
+        assert!(feasible_weighted(&weights, &speeds, 10.0));
+        assert!(!feasible_weighted(&weights, &speeds, 9.0));
+        let counts = partition_balanced_weighted(&weights, &speeds);
+        assert_eq!(counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn hetero_request_routes_through_the_weighted_partition() {
+        let loads = loads_from_times(&[1.0; 12]);
+        let slow_last = BalanceRequest::new(&loads, 3, u64::MAX, BalanceObjective::ByTime)
+            .with_stage_speeds(Some(vec![1.0, 1.0, 0.25]));
+        let outcome = PartitionBalancer::new().rebalance(&slow_last);
+        let counts = outcome.assignment.counts();
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+        assert!(counts[2] < counts[0], "counts {counts:?}");
+    }
+
+    #[test]
+    fn per_stage_capacities_bound_the_memory_fallback() {
+        // All layers identical; stage 1's memory is a quarter of stage 0's,
+        // so the fallback must shift layers onto stage 0.
+        let mut loads = loads_from_times(&[1.0; 8]);
+        for load in loads.iter_mut() {
+            load.static_bytes = 1_000;
+            load.activation_bytes = 0;
+        }
+        let request = BalanceRequest::new(&loads, 2, 8_000, BalanceObjective::ByTime)
+            .with_inflight(vec![0, 0])
+            .with_stage_capacities(Some(vec![8_000, 2_000]));
+        let outcome = PartitionBalancer::new().rebalance(&request);
+        let counts = outcome.assignment.counts();
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(counts[1] <= 2, "counts {counts:?}");
+        assert!(memory_ok(&request, &counts));
     }
 }

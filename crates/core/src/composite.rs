@@ -162,12 +162,7 @@ mod tests {
 
     fn config(stages: usize, iterations: u64, schedule: ScheduleKind) -> TrainerConfig {
         TrainerConfig {
-            cluster: ClusterConfig {
-                gpus_per_node: stages,
-                pipeline_stages: stages,
-                data_parallel: 1,
-                device: DeviceSpec::h100_sxm5(),
-            },
+            cluster: ClusterConfig::homogeneous(stages, stages, 1, DeviceSpec::h100_sxm5()),
             schedule,
             num_iterations: iterations,
             num_microbatches: stages * 4,

@@ -142,6 +142,10 @@ impl RebalanceController {
     /// * `min_workers` — never consolidate below this many workers.
     /// * `num_microbatches` — micro-batches per iteration, used to weigh the
     ///   expected per-iteration benefit of a move against its migration cost.
+    /// * `stage_speeds` — per-stage effective speeds on a heterogeneous (or
+    ///   straggler-degraded) cluster; `None` = homogeneous.
+    /// * `stage_capacities` — per-stage memory capacities; `None` = every
+    ///   stage has `memory_capacity`.
     #[allow(clippy::too_many_arguments)]
     pub fn rebalance(
         &self,
@@ -152,6 +156,8 @@ impl RebalanceController {
         comm: &CommCostModel,
         min_workers: usize,
         num_microbatches: usize,
+        stage_speeds: Option<&[f64]>,
+        stage_capacities: Option<&[u64]>,
     ) -> RebalanceOutcome {
         let started = Stopwatch::start();
         let mut active_workers = current.num_stages();
@@ -173,6 +179,27 @@ impl RebalanceController {
         }
 
         // Step 2: balance the layers over the (possibly reduced) worker set.
+        // Per-stage vectors follow the same convention as `inflight`:
+        // truncated to the active workers, extended by repeating the last
+        // entry if re-packing ever grew the set.
+        let fit_f64 = |values: &[f64]| -> Vec<f64> {
+            values
+                .iter()
+                .copied()
+                .chain(std::iter::repeat(values.last().copied().unwrap_or(1.0)))
+                .take(active_workers)
+                .collect()
+        };
+        let fit_u64 = |values: &[u64]| -> Vec<u64> {
+            values
+                .iter()
+                .copied()
+                .chain(std::iter::repeat(
+                    values.last().copied().unwrap_or(memory_capacity),
+                ))
+                .take(active_workers)
+                .collect()
+        };
         let request = BalanceRequest {
             loads,
             num_stages: active_workers,
@@ -185,6 +212,8 @@ impl RebalanceController {
                 .collect(),
             current: Some(current),
             objective: self.objective,
+            stage_speeds: stage_speeds.map(fit_f64),
+            stage_capacities: stage_capacities.map(fit_u64),
         };
         let outcome = self.balancer.rebalance(&request);
         let algorithm_time = started.elapsed_seconds();
@@ -206,6 +235,11 @@ impl RebalanceController {
                 for (layer, &stage) in assignment.layer_to_stage().iter().enumerate() {
                     if stage < stages {
                         totals[stage] += loads[layer].total_time();
+                    }
+                }
+                if let Some(speeds) = stage_speeds {
+                    for (s, total) in totals.iter_mut().enumerate() {
+                        *total /= speeds.get(s).copied().unwrap_or(1.0);
                     }
                 }
                 totals.into_iter().fold(0.0, f64::max)
@@ -263,12 +297,7 @@ mod tests {
     }
 
     fn comm() -> CommCostModel {
-        CommCostModel::new(ClusterConfig {
-            gpus_per_node: 8,
-            pipeline_stages: 8,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        })
+        CommCostModel::new(ClusterConfig::homogeneous(8, 8, 1, DeviceSpec::h100_sxm5()))
     }
 
     fn controller(policy: RebalancePolicy) -> RebalanceController {
@@ -307,7 +336,17 @@ mod tests {
             &(0..16).map(|i| 1.0 + i as f64 * 0.2).collect::<Vec<_>>(),
             100,
         );
-        let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 4], &comm(), 1, 32);
+        let outcome = c.rebalance(
+            &current,
+            &loads,
+            u64::MAX,
+            &[1; 4],
+            &comm(),
+            1,
+            32,
+            None,
+            None,
+        );
         assert_eq!(outcome.active_workers, 4);
         assert!(outcome.released_workers.is_empty());
         assert_eq!(outcome.assignment.num_layers(), 16);
@@ -331,7 +370,17 @@ mod tests {
         let c = controller(RebalancePolicy::dynamic_with_repack(repack));
         let current = StageAssignment::uniform(16, 8);
         let loads = loads(&[0.5; 16], 10);
-        let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 8], &comm(), 1, 32);
+        let outcome = c.rebalance(
+            &current,
+            &loads,
+            u64::MAX,
+            &[1; 8],
+            &comm(),
+            1,
+            32,
+            None,
+            None,
+        );
         assert_eq!(outcome.active_workers, 2);
         assert_eq!(outcome.released_workers, vec![2, 3, 4, 5, 6, 7]);
         assert_eq!(outcome.assignment.num_stages(), 2);
@@ -348,7 +397,17 @@ mod tests {
         let c = controller(RebalancePolicy::dynamic_with_repack(repack));
         let current = StageAssignment::uniform(8, 4);
         let loads = loads(&[0.5; 8], 10);
-        let outcome = c.rebalance(&current, &loads, u64::MAX, &[1; 4], &comm(), 3, 32);
+        let outcome = c.rebalance(
+            &current,
+            &loads,
+            u64::MAX,
+            &[1; 4],
+            &comm(),
+            3,
+            32,
+            None,
+            None,
+        );
         assert_eq!(outcome.active_workers, 3);
     }
 

@@ -52,11 +52,11 @@ pub use elastic::{FleetError, JobManager, MockJobManager};
 pub use imbalance::load_imbalance;
 pub use migration::{MigrationPlan, MigrationStep};
 pub use overhead::OverheadBreakdown;
-pub use profiler::{profile_layers, Profiler};
+pub use profiler::{profile_layers, Profiler, StragglerDetector};
 pub use recovery::{
-    run_elastic_rescale, run_resilient, ElasticRescaleConfig, ElasticRescaleReport, RecoveryConfig,
-    RecoveryCoordinator, RecoveryEvent, ResilientRunReport, ResilientTrainingConfig,
-    WorkloadConfig,
+    run_elastic_rescale, run_resilient, run_resilient_recorded, ElasticRescaleConfig,
+    ElasticRescaleReport, RecoveryConfig, RecoveryCoordinator, RecoveryEvent, ResilientRunReport,
+    ResilientTrainingConfig, WorkloadConfig,
 };
 pub use repack::{plan_repack, RepackConfig, RepackPlan};
 pub use report::TrainingReport;

@@ -134,12 +134,7 @@ mod tests {
     }
 
     fn comm_model() -> CommCostModel {
-        CommCostModel::new(ClusterConfig {
-            gpus_per_node: 4,
-            pipeline_stages: 4,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        })
+        CommCostModel::new(ClusterConfig::homogeneous(4, 4, 1, DeviceSpec::h100_sxm5()))
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::controller::RebalanceController;
 use crate::elastic::{JobManager, MockJobManager};
 use crate::imbalance::{load_imbalance, ImbalanceHistory};
 use crate::overhead::OverheadBreakdown;
-use crate::profiler::Profiler;
+use crate::profiler::{Profiler, StragglerDetector};
 use crate::report::TrainingReport;
 
 /// Configuration of one training run.
@@ -58,11 +58,12 @@ impl TrainerConfig {
     /// 1F1B schedule, four micro-batches per GPU (per [20] in the paper),
     /// mostly-overlapped gradient all-reduce.
     pub fn paper_defaults(cluster: ClusterConfig, num_iterations: u64) -> Self {
+        let num_microbatches = cluster.pipeline_stages * 4;
         TrainerConfig {
             cluster,
             schedule: ScheduleKind::OneFOneB,
             num_iterations,
-            num_microbatches: cluster.pipeline_stages * 4,
+            num_microbatches,
             allreduce_overlap: 0.8,
             objective: BalanceObjective::ByTime,
             min_workers: 1,
@@ -181,6 +182,7 @@ pub struct Trainer {
     initial_assignment: Option<StageAssignment>,
     checkpointing: Option<Checkpointing>,
     recorder: Arc<dyn Recorder>,
+    straggler_injection: Option<Vec<f64>>,
 }
 
 impl Trainer {
@@ -199,7 +201,29 @@ impl Trainer {
             initial_assignment: None,
             checkpointing: None,
             recorder: Arc::new(NullRecorder),
+            straggler_injection: None,
         }
+    }
+
+    /// Inject per-stage compute slowdowns — the simulation-side ground truth
+    /// for straggler experiments.  Stage `s` runs `slowdowns[s]`× slower than
+    /// its device spec predicts.  The balancer is *not* told: it only learns
+    /// about the slowdown once the profiler's [`StragglerDetector`] confirms
+    /// it (persistently slow for several consecutive observations), at which
+    /// point the stage's effective speed is downgraded in every subsequent
+    /// rebalance and a `StragglerDetected` marker is recorded.
+    pub fn with_straggler_injection(mut self, slowdowns: Vec<f64>) -> Self {
+        assert_eq!(
+            slowdowns.len(),
+            self.config.cluster.pipeline_stages,
+            "straggler injection must cover every pipeline stage"
+        );
+        assert!(
+            slowdowns.iter().all(|&s| s >= 1.0),
+            "straggler slowdowns must be >= 1.0 (1.0 = healthy)"
+        );
+        self.straggler_injection = Some(slowdowns);
+        self
     }
 
     /// Attach a telemetry recorder.  Each newly simulated iteration's
@@ -318,10 +342,36 @@ impl Trainer {
         resume: Option<&TrainerState>,
     ) -> Result<TrainingReport, String> {
         let recorder = Arc::clone(&self.recorder);
-        let comm = CommCostModel::new(self.config.cluster);
-        let simulator = PipelineSimulator::new(comm, self.config.schedule);
-        let hybrid = HybridThroughputModel::new(comm, self.config.allreduce_overlap);
+        let comm = CommCostModel::new(self.config.cluster.clone());
+        let simulator = PipelineSimulator::new(comm.clone(), self.config.schedule);
+        let hybrid = HybridThroughputModel::new(comm.clone(), self.config.allreduce_overlap);
         let model_cfg = self.model.config().clone();
+
+        // Heterogeneous-cluster speeds/capacities (known a priori from the
+        // device specs) plus the straggler detector (fed at runtime from
+        // observed vs. expected stage times).  All of this is `None` on a
+        // homogeneous, straggler-free run, which keeps that path bit-identical
+        // to the speed-free code.
+        let pipeline_stages = self.config.cluster.pipeline_stages;
+        let base_speeds = self.config.cluster.stage_speeds();
+        let stage_capacities = self.config.cluster.stage_capacities();
+        let mut detector = StragglerDetector::new(pipeline_stages);
+        // Ground-truth per-stage compute slowdown the *simulator* applies:
+        // the device generation's speed deficit plus any injected straggler.
+        let actual_slowdowns: Option<Vec<f64>> =
+            if base_speeds.is_none() && self.straggler_injection.is_none() {
+                None
+            } else {
+                Some(
+                    (0..pipeline_stages)
+                        .map(|s| {
+                            let speed = base_speeds.as_ref().map_or(1.0, |v| v[s]);
+                            let inject = self.straggler_injection.as_ref().map_or(1.0, |v| v[s]);
+                            inject / speed
+                        })
+                        .collect(),
+                )
+            };
 
         let mut assignment = self.initial_assignment.clone().unwrap_or_else(|| {
             StageAssignment::uniform(self.model.num_layers(), self.config.cluster.pipeline_stages)
@@ -416,6 +466,36 @@ impl Trainer {
                 dirty = true;
             }
 
+            // Straggler detection: compare the observed per-stage compute
+            // times (which include the injected slowdown) against what the
+            // device specs predict, and confirm persistent outliers.
+            if let Some(injection) = &self.straggler_injection {
+                let ideal = stage_weights(&assignment, &loads, BalanceObjective::ByTime);
+                let expected: Vec<f64> = ideal
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &w)| w / base_speeds.as_ref().map_or(1.0, |v| v[s]))
+                    .collect();
+                let observed: Vec<f64> = expected
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &e)| e * injection.get(s).copied().unwrap_or(1.0))
+                    .collect();
+                for (stage, speed) in detector.observe(&observed, &expected) {
+                    recorder.instant(
+                        0,
+                        MarkerKind::StragglerDetected,
+                        &format!("stage {stage}"),
+                        total_time,
+                        &[
+                            ("iteration", iteration.to_string()),
+                            ("stage", stage.to_string()),
+                            ("effective_speed", format!("{speed:.4}")),
+                        ],
+                    );
+                }
+            }
+
             // Rebalance when due (black-box fixed cadence, §3.2).
             if self
                 .controller
@@ -431,6 +511,23 @@ impl Trainer {
                         )
                     })
                     .collect();
+                // The balancer sees the device-spec speeds (known a priori)
+                // multiplied by the detector's confirmed downgrades — never
+                // the raw injection, which it has no way to observe directly.
+                let downgrades = detector.downgrades();
+                let effective_speeds: Option<Vec<f64>> =
+                    if base_speeds.is_none() && downgrades.is_none() {
+                        None
+                    } else {
+                        Some(
+                            (0..pipeline_stages)
+                                .map(|s| {
+                                    base_speeds.as_ref().map_or(1.0, |v| v[s])
+                                        * downgrades.as_ref().map_or(1.0, |v| v[s])
+                                })
+                                .collect(),
+                        )
+                    };
                 let outcome = self.controller.rebalance(
                     &assignment,
                     &loads,
@@ -439,6 +536,8 @@ impl Trainer {
                     &comm,
                     self.config.min_workers,
                     self.config.num_microbatches,
+                    effective_speeds.as_deref(),
+                    stage_capacities.as_deref(),
                 );
                 let profiling_cost = self.profiler.profiling_cost(&loads);
                 overhead.record(
@@ -490,6 +589,17 @@ impl Trainer {
                     &update.token_retention,
                     comm.activation_bytes(&model_cfg),
                 );
+                // Apply the ground-truth slowdowns: a slow device (or an
+                // injected straggler) stretches its stage's compute times in
+                // the simulated pipeline, whether or not the balancer has
+                // caught on yet.
+                if let Some(slowdowns) = &actual_slowdowns {
+                    for (s, load) in stage_loads.iter_mut().enumerate() {
+                        let factor = slowdowns.get(s).copied().unwrap_or(1.0);
+                        load.fwd_time *= factor;
+                        load.bwd_time *= factor;
+                    }
+                }
                 let report =
                     simulator.simulate(&model_cfg, &stage_loads, self.config.num_microbatches);
                 // Trace the freshly simulated timeline (iterations between
@@ -690,12 +800,7 @@ mod tests {
     use dynmo_model::{DeviceSpec, ModelPreset};
 
     fn small_cluster(stages: usize) -> ClusterConfig {
-        ClusterConfig {
-            gpus_per_node: stages,
-            pipeline_stages: stages,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        }
+        ClusterConfig::homogeneous(stages, stages, 1, DeviceSpec::h100_sxm5())
     }
 
     fn config(stages: usize, iterations: u64) -> TrainerConfig {
@@ -1055,6 +1160,115 @@ mod tests {
         // (which itself carries wall-clock algorithm time, so compare
         // approximately across runs).
         assert!((traced_report.overhead.total() - plain_report.overhead.total()).abs() < 0.1);
+    }
+
+    #[test]
+    fn straggler_detection_downgrades_the_slow_stage_and_records_a_marker() {
+        use dynmo_telemetry::{Event, MemoryRecorder};
+
+        // Stage 2 secretly runs 2× slower than its spec.  A static run just
+        // eats the slowdown; a dynamic run must detect it, emit exactly one
+        // StragglerDetected marker for stage 2, and shift layers off the
+        // slow stage for a clearly better throughput.
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let injection = vec![1.0, 1.0, 2.0, 1.0];
+        let recorder = Arc::new(MemoryRecorder::new());
+        // Pin a tight cadence: the engine's own recommendation (every ~100
+        // iterations for early exit) would leave half this short run
+        // unbalanced and the margin would measure the cadence, not the
+        // detector.
+        let every10 = || {
+            RebalanceController::new(
+                Box::new(PartitionBalancer::new()),
+                BalanceObjective::ByTime,
+                RebalancePolicy {
+                    enabled: true,
+                    frequency: Some(dynmo_dynamics::RebalanceFrequency::EveryN(10)),
+                    repack: None,
+                },
+            )
+        };
+        let mut dynamic = Trainer::new(model.clone(), config(4, 200), every10())
+            .with_straggler_injection(injection.clone())
+            .with_recorder(recorder.clone());
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        let dynamic_report = dynamic.run(&mut engine);
+
+        let mut static_trainer = Trainer::new(model.clone(), config(4, 200), static_controller())
+            .with_straggler_injection(injection);
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+        let static_report = static_trainer.run(&mut engine);
+
+        let markers: Vec<_> = recorder
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Instant(i) if i.kind == MarkerKind::StragglerDetected => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(markers.len(), 1, "exactly one straggler confirmed");
+        assert!(markers[0].name.contains("stage 2"), "{}", markers[0].name);
+        assert!(
+            dynamic_report.tokens_per_second > static_report.tokens_per_second * 1.15,
+            "dynamic {} vs static {}",
+            dynamic_report.tokens_per_second,
+            static_report.tokens_per_second
+        );
+    }
+
+    #[test]
+    fn heterogeneous_cluster_rebalancing_beats_the_even_split() {
+        // Two generations (H100 + A100) in one pipeline: the device-weighted
+        // balancer must beat a static uniform split even with a *static*
+        // workload (the imbalance comes from the hardware, not the model).
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let cluster = ClusterConfig::hetero_two_gen(2, 4, 1);
+        let run = |controller: RebalanceController| {
+            let mut cfg = config(4, 100);
+            cfg.cluster = cluster.clone();
+            let mut trainer = Trainer::new(model.clone(), cfg, controller);
+            let mut engine = FreezingEngine::new(&model, FreezingPolicy::paper_default(), 3);
+            trainer.run(&mut engine)
+        };
+        let dynamic = run(RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy {
+                enabled: true,
+                frequency: Some(dynmo_dynamics::RebalanceFrequency::EveryN(10)),
+                repack: None,
+            },
+        ));
+        let static_run = run(static_controller());
+        assert!(
+            dynamic.tokens_per_second > static_run.tokens_per_second * 1.1,
+            "dynamic {} vs static {}",
+            dynamic.tokens_per_second,
+            static_run.tokens_per_second
+        );
+    }
+
+    #[test]
+    fn hetero_cluster_with_equal_devices_matches_homogeneous_bit_for_bit() {
+        // The explicit-device path with all-equal specs must take the
+        // weighted code and still land on the homogeneous trajectory
+        // checksum exactly.
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let run = |cluster: ClusterConfig| {
+            let mut cfg = config(4, 120);
+            cfg.cluster = cluster;
+            let mut trainer = Trainer::new(model.clone(), cfg, dynamic_controller());
+            let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 3);
+            trainer.run(&mut engine)
+        };
+        let homogeneous = run(small_cluster(4));
+        let explicit = run(small_cluster(4).with_devices(vec![DeviceSpec::h100_sxm5(); 4]));
+        assert_eq!(
+            homogeneous.trajectory_checksum,
+            explicit.trajectory_checksum
+        );
+        assert_eq!(homogeneous.total_tokens, explicit.total_tokens);
     }
 
     #[test]

@@ -59,6 +59,20 @@ impl DeviceSpec {
         }
     }
 
+    /// A V100 SXM2 32 GB-like device, the oldest generation the
+    /// heterogeneous presets mix in: ~120 TFLOP/s sustained fp16,
+    /// 300 GB/s NVLink, 100 Gbps (≈12.5 GB/s) node-level InfiniBand.
+    pub fn v100_sxm2() -> Self {
+        DeviceSpec {
+            sustained_flops: 1.2e14,
+            memory_capacity: 32 * 1024 * 1024 * 1024,
+            intra_node_bandwidth: 300.0e9,
+            inter_node_bandwidth: 12.5e9,
+            link_latency: 5.0e-6,
+            kernel_launch_overhead: 10.0e-6,
+        }
+    }
+
     /// A deliberately tiny device useful in tests: makes memory-capacity
     /// constraints bite at small model sizes.
     pub fn test_device(memory_capacity: u64) -> Self {
@@ -95,7 +109,13 @@ impl DeviceSpec {
 }
 
 /// The parallel decomposition of a training job across a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Homogeneous clusters carry one [`DeviceSpec`] shared by every worker
+/// (`devices: None` — the historical fast path, bit-identical to the
+/// pre-heterogeneity behavior).  Mixed-generation clusters additionally
+/// carry one spec per *pipeline stage* in `devices`; every consumer that
+/// asks per-stage questions goes through [`ClusterConfig::device_of`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of GPUs per node (4 in the paper's H100 system, 8 for the
     /// re-packing experiments of Figure 4).
@@ -104,42 +124,181 @@ pub struct ClusterConfig {
     pub pipeline_stages: usize,
     /// Data-parallel degree (number of pipeline replicas).
     pub data_parallel: usize,
-    /// Device type shared by all workers.
+    /// Reference device: the spec shared by all workers on a homogeneous
+    /// cluster, and the normalization baseline (speed 1.0) when `devices`
+    /// is present.
     pub device: DeviceSpec,
+    /// Per-pipeline-stage device specs for mixed-generation clusters
+    /// (`None` = homogeneous; every stage runs `device`).
+    pub devices: Option<Vec<DeviceSpec>>,
+    /// Model inter-node links as one shared NIC per direction instead of
+    /// independent α–β edges: concurrent pipeline streams divide the
+    /// bandwidth (see [`ClusterConfig::inter_contention_factor`]).
+    pub shared_link_contention: bool,
 }
 
 impl ClusterConfig {
+    /// A homogeneous cluster: every worker is `device`.
+    pub fn homogeneous(
+        gpus_per_node: usize,
+        pipeline_stages: usize,
+        data_parallel: usize,
+        device: DeviceSpec,
+    ) -> Self {
+        ClusterConfig {
+            gpus_per_node,
+            pipeline_stages,
+            data_parallel,
+            device,
+            devices: None,
+            shared_link_contention: false,
+        }
+    }
+
     /// The paper's large multi-node setting: 720 H100s as 30-way data
     /// parallel × 24-way pipeline parallel (90 nodes × 8 slots equivalent).
     pub fn paper_720_h100() -> Self {
-        ClusterConfig {
-            gpus_per_node: 8,
-            pipeline_stages: 24,
-            data_parallel: 30,
-            device: DeviceSpec::h100_sxm5(),
-        }
+        Self::homogeneous(8, 24, 30, DeviceSpec::h100_sxm5())
     }
 
     /// The paper's MoE/MoD setting: 128 H100s as 8-way data parallel ×
     /// 16-way pipeline parallel (16 nodes with 4× H100 each → re-grouped).
     pub fn paper_128_h100() -> Self {
-        ClusterConfig {
-            gpus_per_node: 8,
-            pipeline_stages: 16,
-            data_parallel: 8,
-            device: DeviceSpec::h100_sxm5(),
-        }
+        Self::homogeneous(8, 16, 8, DeviceSpec::h100_sxm5())
     }
 
     /// A single node with `gpus` GPUs, all used as pipeline stages (the
     /// paper's single-node and re-packing experiments start from 8).
     pub fn single_node(gpus: usize) -> Self {
-        ClusterConfig {
-            gpus_per_node: gpus,
-            pipeline_stages: gpus,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
+        Self::homogeneous(gpus, gpus, 1, DeviceSpec::h100_sxm5())
+    }
+
+    /// A two-generation cluster: the first half of the pipeline runs H100s,
+    /// the second half A100s (upgrade-in-progress fleets look like this).
+    pub fn hetero_two_gen(
+        gpus_per_node: usize,
+        pipeline_stages: usize,
+        data_parallel: usize,
+    ) -> Self {
+        let devices: Vec<DeviceSpec> = (0..pipeline_stages)
+            .map(|s| {
+                if s < pipeline_stages / 2 {
+                    DeviceSpec::h100_sxm5()
+                } else {
+                    DeviceSpec::a100_sxm4()
+                }
+            })
+            .collect();
+        Self::homogeneous(
+            gpus_per_node,
+            pipeline_stages,
+            data_parallel,
+            DeviceSpec::h100_sxm5(),
+        )
+        .with_devices(devices)
+    }
+
+    /// A three-generation cluster: thirds of the pipeline on H100, A100 and
+    /// V100 respectively (oldest generation last, where the paper's dynamism
+    /// already concentrates load).
+    pub fn hetero_three_gen(
+        gpus_per_node: usize,
+        pipeline_stages: usize,
+        data_parallel: usize,
+    ) -> Self {
+        let devices: Vec<DeviceSpec> = (0..pipeline_stages)
+            .map(|s| match 3 * s / pipeline_stages.max(1) {
+                0 => DeviceSpec::h100_sxm5(),
+                1 => DeviceSpec::a100_sxm4(),
+                _ => DeviceSpec::v100_sxm2(),
+            })
+            .collect();
+        Self::homogeneous(
+            gpus_per_node,
+            pipeline_stages,
+            data_parallel,
+            DeviceSpec::h100_sxm5(),
+        )
+        .with_devices(devices)
+    }
+
+    /// Attach per-stage device specs (panics unless one spec per stage).
+    pub fn with_devices(mut self, devices: Vec<DeviceSpec>) -> Self {
+        assert_eq!(
+            devices.len(),
+            self.pipeline_stages,
+            "need exactly one DeviceSpec per pipeline stage"
+        );
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Enable the shared-NIC contention model on inter-node links.
+    pub fn with_shared_link_contention(mut self, on: bool) -> Self {
+        self.shared_link_contention = on;
+        self
+    }
+
+    /// The device backing pipeline stage `stage`.
+    pub fn device_of(&self, stage: usize) -> &DeviceSpec {
+        match &self.devices {
+            Some(devices) => &devices[stage.min(devices.len().saturating_sub(1))],
+            None => &self.device,
         }
+    }
+
+    /// Whether any stage differs from the reference device.
+    pub fn is_heterogeneous(&self) -> bool {
+        match &self.devices {
+            Some(devices) => devices.iter().any(|d| d != &self.device),
+            None => false,
+        }
+    }
+
+    /// Per-stage effective speeds relative to the reference device
+    /// (`None` on the homogeneous path: consumers must not perturb their
+    /// arithmetic when every speed would be exactly 1.0).
+    pub fn stage_speeds(&self) -> Option<Vec<f64>> {
+        self.devices.as_ref().map(|devices| {
+            devices
+                .iter()
+                .map(|d| d.sustained_flops / self.device.sustained_flops)
+                .collect()
+        })
+    }
+
+    /// Per-stage memory capacities (`None` on the homogeneous path).
+    pub fn stage_capacities(&self) -> Option<Vec<u64>> {
+        self.devices
+            .as_ref()
+            .map(|devices| devices.iter().map(|d| d.memory_capacity).collect())
+    }
+
+    /// The smallest memory capacity of any stage.
+    pub fn min_memory_capacity(&self) -> u64 {
+        match &self.devices {
+            Some(devices) => devices
+                .iter()
+                .map(|d| d.memory_capacity)
+                .min()
+                .unwrap_or(self.device.memory_capacity),
+            None => self.device.memory_capacity,
+        }
+    }
+
+    /// How many concurrent streams share an inter-node NIC when
+    /// `shared_link_contention` is on: forward activations and backward
+    /// gradients always overlap (2), plus the data-parallel allreduce
+    /// stream when there are replicas.
+    pub fn inter_contention_factor(&self) -> f64 {
+        if !self.shared_link_contention {
+            return 1.0;
+        }
+        let mut streams = 2.0;
+        if self.data_parallel > 1 {
+            streams += 1.0;
+        }
+        streams
     }
 
     /// Total number of GPUs in the job.
@@ -163,6 +322,21 @@ impl ClusterConfig {
         }
         if self.data_parallel == 0 {
             return Err("data_parallel must be positive".into());
+        }
+        if let Some(devices) = &self.devices {
+            if devices.len() != self.pipeline_stages {
+                return Err(format!(
+                    "devices has {} specs for {} pipeline stages",
+                    devices.len(),
+                    self.pipeline_stages
+                ));
+            }
+            if devices
+                .iter()
+                .any(|d| d.sustained_flops <= 0.0 || d.memory_capacity == 0)
+            {
+                return Err("every device needs positive flops and memory".into());
+            }
         }
         Ok(())
     }
@@ -225,15 +399,75 @@ mod tests {
 
     #[test]
     fn same_node_follows_consecutive_layout() {
-        let c = ClusterConfig {
-            gpus_per_node: 4,
-            pipeline_stages: 8,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        };
+        let c = ClusterConfig::homogeneous(4, 8, 1, DeviceSpec::h100_sxm5());
         assert!(c.same_node(0, 3));
         assert!(!c.same_node(3, 4));
         assert!(c.same_node(4, 7));
+    }
+
+    #[test]
+    fn homogeneous_cluster_reports_no_heterogeneity() {
+        let c = ClusterConfig::single_node(8);
+        assert!(!c.is_heterogeneous());
+        assert!(c.stage_speeds().is_none());
+        assert!(c.stage_capacities().is_none());
+        assert_eq!(c.min_memory_capacity(), c.device.memory_capacity);
+        assert_eq!(c.device_of(3), &c.device);
+        assert_eq!(c.inter_contention_factor(), 1.0);
+    }
+
+    #[test]
+    fn two_generation_cluster_splits_the_pipeline_in_half() {
+        let c = ClusterConfig::hetero_two_gen(4, 8, 1);
+        c.validate().unwrap();
+        assert!(c.is_heterogeneous());
+        assert_eq!(c.device_of(0), &DeviceSpec::h100_sxm5());
+        assert_eq!(c.device_of(3), &DeviceSpec::h100_sxm5());
+        assert_eq!(c.device_of(4), &DeviceSpec::a100_sxm4());
+        assert_eq!(c.device_of(7), &DeviceSpec::a100_sxm4());
+        let speeds = c.stage_speeds().unwrap();
+        assert_eq!(speeds[0], 1.0);
+        assert!((speeds[7] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_generation_cluster_covers_all_generations() {
+        let c = ClusterConfig::hetero_three_gen(4, 12, 1);
+        c.validate().unwrap();
+        assert_eq!(c.device_of(0), &DeviceSpec::h100_sxm5());
+        assert_eq!(c.device_of(5), &DeviceSpec::a100_sxm4());
+        assert_eq!(c.device_of(11), &DeviceSpec::v100_sxm2());
+        // The oldest generation bounds the memory floor.
+        assert_eq!(
+            c.min_memory_capacity(),
+            DeviceSpec::v100_sxm2().memory_capacity
+        );
+        let speeds = c.stage_speeds().unwrap();
+        assert!(speeds[11] < speeds[5] && speeds[5] < speeds[0]);
+    }
+
+    #[test]
+    fn all_equal_devices_count_as_heterogeneous_never() {
+        let c = ClusterConfig::single_node(4).with_devices(vec![DeviceSpec::h100_sxm5(); 4]);
+        assert!(!c.is_heterogeneous());
+        // But the per-stage views still exist and are all-1.0 / uniform.
+        assert!(c.stage_speeds().unwrap().iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn shared_link_contention_adds_streams() {
+        let pipe_only = ClusterConfig::single_node(4).with_shared_link_contention(true);
+        assert_eq!(pipe_only.inter_contention_factor(), 2.0);
+        let with_dp = ClusterConfig::homogeneous(4, 4, 2, DeviceSpec::h100_sxm5())
+            .with_shared_link_contention(true);
+        assert_eq!(with_dp.inter_contention_factor(), 3.0);
+    }
+
+    #[test]
+    fn validation_rejects_wrong_device_count() {
+        let mut c = ClusterConfig::hetero_two_gen(4, 8, 1);
+        c.devices.as_mut().unwrap().pop();
+        assert!(c.validate().is_err());
     }
 
     #[test]

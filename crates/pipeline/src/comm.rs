@@ -24,7 +24,7 @@ use dynmo_model::{ClusterConfig, ModelConfig};
 use crate::load::StageLoad;
 
 /// Communication cost model bound to a cluster configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommCostModel {
     cluster: ClusterConfig,
 }
@@ -38,6 +38,41 @@ impl CommCostModel {
     /// The cluster this model describes.
     pub fn cluster(&self) -> &ClusterConfig {
         &self.cluster
+    }
+
+    /// Effective bandwidth of the link between stages `a` and `b`: the
+    /// slower endpoint bounds a point-to-point transfer, and inter-node
+    /// links optionally share one NIC among the cluster's concurrent
+    /// streams ([`ClusterConfig::inter_contention_factor`]).  On a
+    /// homogeneous cluster with contention off this is exactly the single
+    /// device's bandwidth.
+    fn link_bandwidth(&self, a: usize, b: usize, intra: bool) -> f64 {
+        let da = self.cluster.device_of(a);
+        let db = self.cluster.device_of(b);
+        if intra {
+            da.intra_node_bandwidth.min(db.intra_node_bandwidth)
+        } else {
+            da.inter_node_bandwidth.min(db.inter_node_bandwidth)
+                / self.cluster.inter_contention_factor()
+        }
+    }
+
+    /// α–β time to move `bytes` across the edge between stages `from` and
+    /// `to`: the larger endpoint latency plus bytes over the edge's
+    /// effective bandwidth.  Reduces bit-identically to
+    /// [`dynmo_model::DeviceSpec::transfer_time`] when both endpoints are
+    /// the same device and contention is off.
+    pub fn edge_transfer_time(&self, bytes: f64, from: usize, to: usize) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let intra = self.cluster.same_node(from, to);
+        let latency = self
+            .cluster
+            .device_of(from)
+            .link_latency
+            .max(self.cluster.device_of(to).link_latency);
+        latency + bytes / self.link_bandwidth(from, to, intra)
     }
 
     /// Bytes of one micro-batch's activations at a pipeline stage boundary.
@@ -57,8 +92,7 @@ impl CommCostModel {
         to_stage: usize,
     ) -> f64 {
         let bytes = self.activation_bytes(model) as f64;
-        let intra = self.cluster.same_node(from_stage, to_stage);
-        self.cluster.device.transfer_time(bytes, intra)
+        self.edge_transfer_time(bytes, from_stage, to_stage)
     }
 
     /// Bytes of the hidden-state tensor leaving `sender`: the stage's own
@@ -92,8 +126,7 @@ impl CommCostModel {
         to_stage: usize,
     ) -> f64 {
         let bytes = self.boundary_activation_bytes(model, sender) as f64;
-        let intra = self.cluster.same_node(from_stage, to_stage);
-        self.cluster.device.transfer_time(bytes, intra)
+        self.edge_transfer_time(bytes, from_stage, to_stage)
     }
 
     /// Time to return the input gradient across the boundary whose forward
@@ -109,33 +142,34 @@ impl CommCostModel {
         to_stage: usize,
     ) -> f64 {
         let bytes = self.gradient_bytes(model, boundary_sender) as f64;
-        let intra = self.cluster.same_node(from_stage, to_stage);
-        self.cluster.device.transfer_time(bytes, intra)
+        self.edge_transfer_time(bytes, from_stage, to_stage)
     }
 
     /// Time for a ring all-reduce of `bytes` across `replicas` data-parallel
-    /// workers: `2·(n−1)/n · bytes / bandwidth` plus per-step latencies.
+    /// workers holding pipeline stage `stage`: `2·(n−1)/n · bytes /
+    /// bandwidth` plus per-step latencies.
     ///
-    /// Each parallel dimension is costed under its own idealized placement,
-    /// the way production launchers map hybrid jobs: pipeline stages sit on
-    /// consecutive slots within a replica (the point-to-point costs'
-    /// [`ClusterConfig::same_node`] layout), and each stage's data-parallel
-    /// replica group is *node-aligned*, so a group no wider than a node
-    /// rides NVLink — expressed through the same `same_node` routing over
-    /// group-relative slots.  The legacy model billed every all-reduce at
-    /// inter-node bandwidth, even for single-node replica groups.
-    pub fn allreduce_time(&self, bytes: u64, replicas: usize) -> f64 {
+    /// Replica `r`'s copy of stage `s` sits at global slot `r·p + s` under
+    /// the consecutive Megatron-style placement, so the replica group is
+    /// *strided* across the job, not packed.  The slot→node map is
+    /// monotone, so checking the two extreme members of the group covers
+    /// its whole span — an earlier version checked `same_node(0,
+    /// replicas−1)` over group-relative slots, which priced groups that
+    /// straddle a node boundary in the middle at NVLink bandwidth.
+    pub fn allreduce_time(&self, bytes: u64, replicas: usize, stage: usize) -> f64 {
         if replicas <= 1 || bytes == 0 {
             return 0.0;
         }
         let n = replicas as f64;
-        let bw = if self.cluster.same_node(0, replicas - 1) {
-            self.cluster.device.intra_node_bandwidth
+        let device = self.cluster.device_of(stage);
+        let span_end = (replicas - 1) * self.cluster.pipeline_stages + stage;
+        let bw = if self.cluster.same_node(stage, span_end) {
+            device.intra_node_bandwidth
         } else {
-            self.cluster.device.inter_node_bandwidth
+            device.inter_node_bandwidth / self.cluster.inter_contention_factor()
         };
         let steps = 2.0 * (n - 1.0);
-        steps * self.cluster.device.link_latency + 2.0 * (n - 1.0) / n * bytes as f64 / bw
+        steps * device.link_latency + 2.0 * (n - 1.0) / n * bytes as f64 / bw
     }
 
     /// Time for an all-to-all exchange of `bytes_per_peer` with each of
@@ -155,8 +189,7 @@ impl CommCostModel {
         if from_stage == to_stage || bytes == 0 {
             return 0.0;
         }
-        let intra = self.cluster.same_node(from_stage, to_stage);
-        self.cluster.device.transfer_time(bytes as f64, intra)
+        self.edge_transfer_time(bytes as f64, from_stage, to_stage)
     }
 }
 
@@ -170,12 +203,7 @@ mod tests {
     }
 
     fn comm() -> CommCostModel {
-        CommCostModel::new(ClusterConfig {
-            gpus_per_node: 4,
-            pipeline_stages: 8,
-            data_parallel: 2,
-            device: DeviceSpec::h100_sxm5(),
-        })
+        CommCostModel::new(ClusterConfig::homogeneous(4, 8, 2, DeviceSpec::h100_sxm5()))
     }
 
     #[test]
@@ -197,31 +225,48 @@ mod tests {
     #[test]
     fn allreduce_time_scales_with_bytes_and_replicas() {
         let c = comm();
-        assert_eq!(c.allreduce_time(1_000_000, 1), 0.0);
-        assert_eq!(c.allreduce_time(0, 8), 0.0);
-        let t2 = c.allreduce_time(1_000_000_000, 2);
-        let t8 = c.allreduce_time(1_000_000_000, 8);
+        assert_eq!(c.allreduce_time(1_000_000, 1, 0), 0.0);
+        assert_eq!(c.allreduce_time(0, 8, 0), 0.0);
+        let t2 = c.allreduce_time(1_000_000_000, 2, 0);
+        let t8 = c.allreduce_time(1_000_000_000, 8, 0);
         assert!(t8 > t2);
-        let small = c.allreduce_time(1_000_000, 8);
+        let small = c.allreduce_time(1_000_000, 8, 0);
         assert!(small < t8);
     }
 
     #[test]
     fn allreduce_uses_nvlink_when_the_replica_group_fits_in_a_node() {
-        let c = comm(); // 4 GPUs per node
+        // A short pipeline on fat nodes: p = 2 stages, 8 GPUs per node, so
+        // stage 0's replica group occupies slots {0, 2, 4, ...}.
+        let c = CommCostModel::new(ClusterConfig::homogeneous(8, 2, 4, DeviceSpec::h100_sxm5()));
         let d = c.cluster().device;
         let bytes = 1_000_000_000u64;
-        // 4 replicas fit in one node → intra-node bandwidth.
-        let within = c.allreduce_time(bytes, 4);
+        // 4 replicas → slots {0, 2, 4, 6}, all inside node 0 → NVLink.
+        let within = c.allreduce_time(bytes, 4, 0);
         let expected_within =
             6.0 * d.link_latency + 2.0 * 3.0 / 4.0 * bytes as f64 / d.intra_node_bandwidth;
         assert!((within - expected_within).abs() < 1e-12);
-        // 5 replicas spill across nodes → inter-node bandwidth.
-        let across = c.allreduce_time(bytes, 5);
+        // 5 replicas → slots up to 8, spilling into node 1 → InfiniBand.
+        let across = c.allreduce_time(bytes, 5, 0);
         let expected_across =
             8.0 * d.link_latency + 2.0 * 4.0 / 5.0 * bytes as f64 / d.inter_node_bandwidth;
         assert!((across - expected_across).abs() < 1e-12);
         assert!(across > within);
+    }
+
+    #[test]
+    fn allreduce_group_straddling_a_node_in_the_middle_pays_interconnect() {
+        // Regression for the endpoint-only locality check: with p = 8 the
+        // replica group of stage 0 sits at slots {0, 8, 16, 24} — every
+        // member on a *different* node — yet `same_node(0, replicas − 1)`
+        // over group-relative slots claimed the group fit in one node.
+        let c = comm(); // gpus_per_node = 4, pipeline_stages = 8
+        let d = c.cluster().device;
+        let bytes = 1_000_000_000u64;
+        let t = c.allreduce_time(bytes, 4, 0);
+        let expected =
+            6.0 * d.link_latency + 2.0 * 3.0 / 4.0 * bytes as f64 / d.inter_node_bandwidth;
+        assert!((t - expected).abs() < 1e-12);
     }
 
     fn stage_with_boundary(boundary_bytes: u64) -> StageLoad {
@@ -281,6 +326,43 @@ mod tests {
         let t4 = c.alltoall_time(1_000_000, 4);
         let t16 = c.alltoall_time(1_000_000, 16);
         assert!(t16 > t4);
+    }
+
+    #[test]
+    fn hetero_edges_are_bounded_by_the_slower_endpoint() {
+        let m = model();
+        let uniform =
+            CommCostModel::new(ClusterConfig::homogeneous(2, 4, 1, DeviceSpec::h100_sxm5()));
+        let mixed = CommCostModel::new(ClusterConfig::hetero_two_gen(2, 4, 1));
+        // Stage 1 → 2 crosses the H100/A100 divide and the node boundary:
+        // the A100's slower NVLink/IB must bound the edge.
+        let fast = uniform.activation_transfer_time(&m, 1, 2);
+        let slow = mixed.activation_transfer_time(&m, 1, 2);
+        assert!(slow >= fast);
+        // An all-H100 edge of the mixed cluster matches the uniform one
+        // bit-for-bit.
+        assert_eq!(
+            mixed.activation_transfer_time(&m, 0, 1).to_bits(),
+            uniform.activation_transfer_time(&m, 0, 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn shared_link_contention_slows_only_inter_node_edges() {
+        let m = model();
+        let base = comm();
+        let contended =
+            CommCostModel::new(base.cluster().clone().with_shared_link_contention(true));
+        // Intra-node edge 0→1 is untouched.
+        assert_eq!(
+            contended.activation_transfer_time(&m, 0, 1).to_bits(),
+            base.activation_transfer_time(&m, 0, 1).to_bits()
+        );
+        // Inter-node edge 3→4 shares the NIC among 3 streams (fwd + grad +
+        // the dp = 2 allreduce).
+        assert!(
+            contended.activation_transfer_time(&m, 3, 4) > base.activation_transfer_time(&m, 3, 4)
+        );
     }
 
     #[test]

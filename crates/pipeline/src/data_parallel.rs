@@ -17,7 +17,7 @@ use crate::metrics::IterationReport;
 
 /// Converts a single-pipeline iteration report into end-to-end hybrid
 /// throughput.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HybridThroughputModel {
     comm: CommCostModel,
     /// Fraction of the gradient all-reduce that overlaps with the backward
@@ -65,12 +65,15 @@ impl HybridThroughputModel {
         let dp = self.comm.cluster().data_parallel;
         // Gradient all-reduce happens per stage across replicas, in
         // parallel; the exposed time is set by the heaviest stage.
-        let max_stage_grad_bytes = stage_loads
+        let (heaviest_stage, max_stage_grad_bytes) = stage_loads
             .iter()
             .map(|s| s.param_count * model.param_bytes as u64)
-            .max()
-            .unwrap_or(0);
-        let full_allreduce = self.comm.allreduce_time(max_stage_grad_bytes, dp);
+            .enumerate()
+            .max_by_key(|&(_, bytes)| bytes)
+            .unwrap_or((0, 0));
+        let full_allreduce = self
+            .comm
+            .allreduce_time(max_stage_grad_bytes, dp, heaviest_stage);
         let exposed = full_allreduce * (1.0 - self.allreduce_overlap);
         let iteration_time = report.makespan + exposed;
         let tokens_per_iteration =
@@ -98,12 +101,7 @@ mod tests {
     use dynmo_model::{ClusterConfig, DeviceSpec};
 
     fn cluster(dp: usize) -> ClusterConfig {
-        ClusterConfig {
-            gpus_per_node: 4,
-            pipeline_stages: 4,
-            data_parallel: dp,
-            device: DeviceSpec::h100_sxm5(),
-        }
+        ClusterConfig::homogeneous(4, 4, dp, DeviceSpec::h100_sxm5())
     }
 
     fn stage_loads() -> Vec<StageLoad> {
@@ -122,7 +120,7 @@ mod tests {
 
     fn report(dp: usize) -> (IterationReport, HybridThroughputModel) {
         let comm = CommCostModel::new(cluster(dp));
-        let sim = PipelineSimulator::new(comm, ScheduleKind::OneFOneB);
+        let sim = PipelineSimulator::new(comm.clone(), ScheduleKind::OneFOneB);
         let loads = stage_loads();
         let r = sim.simulate(&ModelConfig::gpt(24), &loads, 16);
         (r, HybridThroughputModel::new(comm, 0.5))
@@ -154,11 +152,11 @@ mod tests {
     fn overlap_reduces_exposed_allreduce() {
         let model = ModelConfig::gpt(24);
         let comm = CommCostModel::new(cluster(8));
-        let sim = PipelineSimulator::new(comm, ScheduleKind::OneFOneB);
+        let sim = PipelineSimulator::new(comm.clone(), ScheduleKind::OneFOneB);
         let loads = stage_loads();
         let r = sim.simulate(&model, &loads, 16);
-        let none = HybridThroughputModel::new(comm, 0.0).throughput(&model, &r, &loads, 16);
-        let full = HybridThroughputModel::new(comm, 1.0).throughput(&model, &r, &loads, 16);
+        let none = HybridThroughputModel::new(comm.clone(), 0.0).throughput(&model, &r, &loads, 16);
+        let full = HybridThroughputModel::new(comm.clone(), 1.0).throughput(&model, &r, &loads, 16);
         assert!(none.exposed_allreduce_time > 0.0);
         assert_eq!(full.exposed_allreduce_time, 0.0);
         assert!(full.tokens_per_second > none.tokens_per_second);

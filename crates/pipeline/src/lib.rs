@@ -41,7 +41,7 @@ pub mod stage;
 
 pub use comm::CommCostModel;
 pub use data_parallel::HybridThroughputModel;
-pub use load::LayerLoad;
+pub use load::{LayerLoad, StageLoad};
 pub use memory::{check_stage_memory, StageMemoryReport};
 pub use metrics::{IterationReport, WorkerTimeline};
 pub use schedule::ScheduleKind;

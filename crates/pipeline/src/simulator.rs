@@ -704,11 +704,11 @@ mod tests {
     fn zero_comm_cluster(stages: usize) -> ClusterConfig {
         // A device with effectively infinite bandwidth and zero latency so
         // analytic pipeline formulas hold exactly in tests.
-        ClusterConfig {
-            gpus_per_node: stages.max(1),
-            pipeline_stages: stages,
-            data_parallel: 1,
-            device: DeviceSpec {
+        ClusterConfig::homogeneous(
+            stages.max(1),
+            stages,
+            1,
+            DeviceSpec {
                 sustained_flops: 1.0,
                 memory_capacity: u64::MAX,
                 intra_node_bandwidth: f64::INFINITY,
@@ -716,7 +716,7 @@ mod tests {
                 link_latency: 0.0,
                 kernel_launch_overhead: 0.0,
             },
-        }
+        )
     }
 
     fn stage(fwd: f64) -> StageLoad {
@@ -951,11 +951,12 @@ mod tests {
         // pays a single direct hop: the layout must match a two-stage
         // pipeline at the same per-hop cost exactly, and beat a cluster
         // whose links are priced like the old two-hop relay.
-        let cluster = ClusterConfig {
-            gpus_per_node: 1, // every hop crosses a node boundary
-            pipeline_stages: 3,
-            data_parallel: 1,
-            device: DeviceSpec {
+        // every hop crosses a node boundary (one GPU per node)
+        let cluster = ClusterConfig::homogeneous(
+            1,
+            3,
+            1,
+            DeviceSpec {
                 sustained_flops: 1.0,
                 memory_capacity: u64::MAX,
                 intra_node_bandwidth: 1.0e9,
@@ -963,9 +964,10 @@ mod tests {
                 link_latency: 0.05,
                 kernel_launch_overhead: 0.0,
             },
-        };
+        );
         let model = ModelConfig::gpt(24);
-        let sim = PipelineSimulator::new(CommCostModel::new(cluster), ScheduleKind::OneFOneB);
+        let sim =
+            PipelineSimulator::new(CommCostModel::new(cluster.clone()), ScheduleKind::OneFOneB);
         let bypassed = sim.simulate(&model, &[stage(1.0), released(), stage(1.0)], 8);
         // The same two real stages at the same physical distance (0 and 2).
         // A two-stage pipeline at adjacent slots pays the same per-hop cost
@@ -1005,11 +1007,12 @@ mod tests {
             ScheduleKind::OneFOneB,
         )
         .simulate(&model, &loads, 8);
-        let slow_cluster = ClusterConfig {
-            gpus_per_node: 1, // every hop crosses a (slow) node boundary
-            pipeline_stages: 4,
-            data_parallel: 1,
-            device: DeviceSpec {
+        // every hop crosses a (slow) node boundary
+        let slow_cluster = ClusterConfig::homogeneous(
+            1,
+            4,
+            1,
+            DeviceSpec {
                 sustained_flops: 1.0,
                 memory_capacity: u64::MAX,
                 intra_node_bandwidth: 1.0e9,
@@ -1017,7 +1020,7 @@ mod tests {
                 link_latency: 0.05,
                 kernel_launch_overhead: 0.0,
             },
-        };
+        );
         let slow = PipelineSimulator::new(CommCostModel::new(slow_cluster), ScheduleKind::OneFOneB)
             .simulate(&model, &loads, 8);
         assert!(slow.makespan > fast.makespan);
@@ -1029,14 +1032,9 @@ mod tests {
         // the workspace-level property tests.
         let model = ModelConfig::gpt(24);
         let loads = vec![stage(1.0), stage(0.7), stage(1.3), stage(1.0)];
-        let cluster = ClusterConfig {
-            gpus_per_node: 2,
-            pipeline_stages: 4,
-            data_parallel: 1,
-            device: DeviceSpec::h100_sxm5(),
-        };
+        let cluster = ClusterConfig::homogeneous(2, 4, 1, DeviceSpec::h100_sxm5());
         for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
-            let sim = PipelineSimulator::new(CommCostModel::new(cluster), schedule);
+            let sim = PipelineSimulator::new(CommCostModel::new(cluster.clone()), schedule);
             let engine = sim.simulate(&model, &loads, 7);
             let reference = sim.simulate_reference(&model, &loads, 7);
             assert_eq!(engine.makespan, reference.makespan);
@@ -1089,11 +1087,11 @@ mod tests {
     #[test]
     fn forward_only_bypasses_released_stages_and_prices_boundaries() {
         let model = ModelConfig::gpt(24);
-        let cluster = ClusterConfig {
-            gpus_per_node: 1,
-            pipeline_stages: 3,
-            data_parallel: 1,
-            device: DeviceSpec {
+        let cluster = ClusterConfig::homogeneous(
+            1,
+            3,
+            1,
+            DeviceSpec {
                 sustained_flops: 1.0,
                 memory_capacity: u64::MAX,
                 intra_node_bandwidth: 1.0e9,
@@ -1101,7 +1099,7 @@ mod tests {
                 link_latency: 0.05,
                 kernel_launch_overhead: 0.0,
             },
-        };
+        );
         let sim = PipelineSimulator::new(CommCostModel::new(cluster), ScheduleKind::OneFOneB);
         let bypassed = sim.simulate_forward(&model, &[stage(1.0), released(), stage(1.0)], 8);
         assert!(bypassed.timelines[1].spans.is_empty());

@@ -45,7 +45,9 @@ pub mod stats;
 pub use communicator::Communicator;
 pub use error::{Result, RuntimeError};
 pub use fabric::Fabric;
-pub use fault::{FailureDetector, FaultInjector, FaultPlan, ScheduledKill};
+pub use fault::{
+    FailureDetector, FaultInjector, FaultPlan, ScheduledKill, SpotEviction, SPOT_WARNING_ITERATIONS,
+};
 pub use launcher::{launch, launch_with_fabric, RankCtx};
 pub use payload::Payload;
 pub use stats::{FabricStats, StatsSnapshot};

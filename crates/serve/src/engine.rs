@@ -281,12 +281,8 @@ impl ServingEngine {
         config.validate()?;
         let model = Model::from_preset(config.preset);
         let kv_model = KvCacheModel::new(model.config().clone());
-        let cluster = ClusterConfig {
-            gpus_per_node: config.gpus_per_node,
-            pipeline_stages: config.stages,
-            data_parallel: 1,
-            device: config.device,
-        };
+        let cluster =
+            ClusterConfig::homogeneous(config.gpus_per_node, config.stages, 1, config.device);
         let simulator = PipelineSimulator::new(CommCostModel::new(cluster), ScheduleKind::OneFOneB);
         let balancer = config.balancer.build();
 

@@ -48,6 +48,11 @@ pub enum MarkerKind {
     ScaleIn,
     /// A fault was injected (a rank was killed).
     Fault,
+    /// The profiler confirmed a persistent straggler and downgraded the
+    /// rank's effective speed.
+    StragglerDetected,
+    /// A spot/preemptible rank received an eviction warning.
+    EvictionWarning,
     /// Anything else worth a timeline pin.
     Info,
 }
@@ -63,6 +68,8 @@ impl MarkerKind {
             MarkerKind::ScaleOut => "scale_out",
             MarkerKind::ScaleIn => "scale_in",
             MarkerKind::Fault => "fault",
+            MarkerKind::StragglerDetected => "straggler_detected",
+            MarkerKind::EvictionWarning => "eviction_warning",
             MarkerKind::Info => "info",
         }
     }
@@ -141,6 +148,8 @@ mod tests {
     fn marker_names_are_stable() {
         assert_eq!(MarkerKind::Rebalance.name(), "rebalance");
         assert_eq!(MarkerKind::ScaleIn.name(), "scale_in");
+        assert_eq!(MarkerKind::StragglerDetected.name(), "straggler_detected");
+        assert_eq!(MarkerKind::EvictionWarning.name(), "eviction_warning");
         assert_eq!(LogLevel::Warn.label(), "WARN");
     }
 

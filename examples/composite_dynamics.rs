@@ -49,12 +49,7 @@ fn stack(model: &Model) -> Vec<Box<dyn DynamismEngine + Send>> {
 
 fn main() {
     let model = Model::from_preset(ModelPreset::Mixtral8x7b);
-    let cluster = ClusterConfig {
-        gpus_per_node: 8,
-        pipeline_stages: 8,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(8, 8, 1, DeviceSpec::h100_sxm5());
     let config = TrainerConfig {
         schedule: ScheduleKind::ZeroBubbleH1,
         ..TrainerConfig::paper_defaults(cluster, 150)

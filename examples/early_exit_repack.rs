@@ -30,7 +30,7 @@ enum Mode {
 fn run(mode: Mode) -> TrainingReport {
     let model = Model::from_preset(ModelPreset::Gpt { layers: 48 });
     let cluster = ClusterConfig::single_node(8);
-    let config = TrainerConfig::paper_defaults(cluster, 400);
+    let config = TrainerConfig::paper_defaults(cluster.clone(), 400);
     let controller = match mode {
         Mode::Static => static_controller(),
         Mode::Rebalance => RebalanceController::new(

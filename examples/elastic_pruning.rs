@@ -60,7 +60,7 @@ fn main() {
         frequency: 50,
         num_steps: 4,
     };
-    let config = TrainerConfig::paper_defaults(cluster, iterations);
+    let config = TrainerConfig::paper_defaults(cluster.clone(), iterations);
     let controller = RebalanceController::new(
         Box::new(PartitionBalancer::new()),
         BalanceObjective::ByTime,

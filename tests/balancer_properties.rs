@@ -8,7 +8,10 @@ use dynmo::core::balancer::{
 };
 use dynmo::core::load_imbalance;
 use dynmo::core::repack::{plan_repack, RepackConfig};
-use dynmo::pipeline::{LayerLoad, StageAssignment};
+use dynmo::model::{ClusterConfig, DeviceSpec, ModelConfig};
+use dynmo::pipeline::{
+    CommCostModel, LayerLoad, PipelineSimulator, ScheduleKind, StageAssignment, StageLoad,
+};
 use dynmo::sparse::{prune_to_sparsity, spmm, CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
@@ -328,6 +331,80 @@ proptest! {
             incremental,
             full
         );
+    }
+
+    /// Heterogeneous balancing with all-equal `DeviceSpec`s is bit-identical
+    /// to the homogeneous path: both balancers produce the same assignments
+    /// and bottlenecks, and the explicit-device cluster simulates the same
+    /// makespan bit-for-bit under all four pipeline schedules.
+    #[test]
+    fn equal_device_hetero_path_matches_homogeneous_bit_for_bit(
+        times in arbitrary_times(),
+        stages in 2usize..8,
+    ) {
+        let loads = loads_from_times(&times);
+        let stages = stages.min(loads.len());
+        let current = StageAssignment::uniform(loads.len(), stages);
+        let base = BalanceRequest::new(&loads, stages, u64::MAX, BalanceObjective::ByTime)
+            .with_current(&current);
+        let weighted = base
+            .clone()
+            .with_stage_speeds(Some(vec![1.0; stages]))
+            .with_stage_capacities(Some(vec![u64::MAX; stages]));
+
+        let homogeneous_cluster =
+            ClusterConfig::homogeneous(2, stages, 1, DeviceSpec::h100_sxm5());
+        let explicit_cluster = homogeneous_cluster
+            .clone()
+            .with_devices(vec![DeviceSpec::h100_sxm5(); stages]);
+
+        for (homogeneous, hetero) in [
+            (
+                PartitionBalancer::new().rebalance(&base),
+                PartitionBalancer::new().rebalance(&weighted),
+            ),
+            (
+                DiffusionBalancer::new().rebalance(&base),
+                DiffusionBalancer::new().rebalance(&weighted),
+            ),
+        ] {
+            prop_assert_eq!(&homogeneous.assignment, &hetero.assignment);
+            prop_assert_eq!(homogeneous.bottleneck.to_bits(), hetero.bottleneck.to_bits());
+
+            // Same assignment simulated on the homogeneous cluster and on
+            // the explicit equal-device cluster: identical makespans under
+            // every schedule.
+            let mut stage_loads = vec![StageLoad::default(); stages];
+            for (layer, &stage) in homogeneous.assignment.layer_to_stage().iter().enumerate() {
+                stage_loads[stage].add_layer(&loads[layer]);
+            }
+            let model = ModelConfig::gpt(loads.len());
+            for schedule in [
+                ScheduleKind::GPipe,
+                ScheduleKind::OneFOneB,
+                ScheduleKind::Interleaved1F1B { virtual_stages: 2 },
+                ScheduleKind::ZeroBubbleH1,
+            ] {
+                let on_homogeneous = PipelineSimulator::new(
+                    CommCostModel::new(homogeneous_cluster.clone()),
+                    schedule,
+                )
+                .simulate(&model, &stage_loads, 2 * stages);
+                let on_explicit = PipelineSimulator::new(
+                    CommCostModel::new(explicit_cluster.clone()),
+                    schedule,
+                )
+                .simulate(&model, &stage_loads, 2 * stages);
+                prop_assert_eq!(
+                    on_homogeneous.makespan.to_bits(),
+                    on_explicit.makespan.to_bits(),
+                    "schedule {:?}: homogeneous {} vs explicit equal-device {}",
+                    schedule,
+                    on_homogeneous.makespan,
+                    on_explicit.makespan
+                );
+            }
+        }
     }
 
     /// The incremental-potential fast path commits exactly the moves the

@@ -187,12 +187,7 @@ fn three_mechanism_stack(model: &Model, seed: u64) -> Vec<Box<dyn DynamismEngine
 #[test]
 fn three_mechanism_stack_replays_bit_identically_after_mid_run_kills() {
     let model = Model::from_preset(ModelPreset::Mixtral8x7b);
-    let cluster = ClusterConfig {
-        gpus_per_node: 4,
-        pipeline_stages: 4,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(4, 4, 1, DeviceSpec::h100_sxm5());
     let config = TrainerConfig {
         schedule: ScheduleKind::OneFOneB,
         ..TrainerConfig::paper_defaults(cluster, 70)
@@ -241,12 +236,7 @@ fn three_mechanism_stack_replays_bit_identically_after_mid_run_kills() {
 #[test]
 fn quiescent_stacks_replay_bit_identically_too() {
     let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
-    let cluster = ClusterConfig {
-        gpus_per_node: 4,
-        pipeline_stages: 4,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    };
+    let cluster = ClusterConfig::homogeneous(4, 4, 1, DeviceSpec::h100_sxm5());
     let config = TrainerConfig {
         schedule: ScheduleKind::ZeroBubbleH1,
         ..TrainerConfig::paper_defaults(cluster, 80)

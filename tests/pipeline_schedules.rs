@@ -13,12 +13,7 @@ use dynmo::pipeline::{CommCostModel, PipelineSimulator, ScheduleKind};
 use proptest::prelude::*;
 
 fn cluster(stages: usize, gpus_per_node: usize) -> ClusterConfig {
-    ClusterConfig {
-        gpus_per_node,
-        pipeline_stages: stages,
-        data_parallel: 1,
-        device: DeviceSpec::h100_sxm5(),
-    }
+    ClusterConfig::homogeneous(gpus_per_node, stages, 1, DeviceSpec::h100_sxm5())
 }
 
 /// Stage loads with per-stage compute times and boundary tensors, all
