@@ -60,6 +60,8 @@ struct PoolBench {
 }
 
 /// Best-of-`repeats` wall-clock of `f`, returning the last result too.
+// Benchmarking is a sanctioned wall-clock use (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn time_best<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;

@@ -29,6 +29,8 @@ struct ConvergenceRow {
 }
 
 /// Median wall-clock seconds of `f` over `trials` runs.
+// Benchmarking is a sanctioned wall-clock use (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn time_median(trials: usize, mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..trials)
         .map(|_| {

@@ -46,6 +46,8 @@ fn random_dense(rows: usize, cols: usize, sparsity: f64, seed: u64) -> DenseMatr
     DenseMatrix::from_vec(rows, cols, data)
 }
 
+// Benchmarking is a sanctioned wall-clock use (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn time_us<F: FnMut()>(mut f: F, reps: usize) -> f64 {
     let start = Instant::now();
     for _ in 0..reps {

@@ -1,0 +1,103 @@
+//! CLI for the workspace invariant pass.
+//!
+//! ```text
+//! dynmo-lint --workspace          # lint the enclosing cargo workspace
+//! dynmo-lint <path> [<path> ...]  # lint specific files or directories
+//! ```
+//!
+//! Exits 1 if any violation is found, printing one `path:line: [rule]
+//! message` line each — the same contract CI relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dynmo_lint::{lint_source, lint_workspace, Violation};
+
+/// Nearest ancestor of `start` whose `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn lint_path(root: &Path, path: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            lint_path(root, &entry.path(), violations)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        violations.extend(lint_source(rel, &source));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: dynmo-lint --workspace | dynmo-lint <path>...");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let cwd = std::env::current_dir().expect("cwd unavailable");
+    let result = if args.iter().any(|a| a == "--workspace") {
+        let root = find_workspace_root(&cwd).unwrap_or_else(|| {
+            eprintln!(
+                "dynmo-lint: no enclosing cargo workspace found from {}",
+                cwd.display()
+            );
+            std::process::exit(2);
+        });
+        lint_workspace(&root)
+    } else {
+        let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+        let mut violations = Vec::new();
+        let outcome: std::io::Result<()> = args.iter().try_for_each(|arg| {
+            let path = PathBuf::from(arg);
+            if !path.exists() {
+                eprintln!("dynmo-lint: no such path: {arg}");
+                std::process::exit(2);
+            }
+            lint_path(&root, &path, &mut violations)
+        });
+        outcome.map(|()| violations)
+    };
+
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            println!("dynmo-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for violation in &violations {
+                println!("{violation}");
+            }
+            println!("dynmo-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("dynmo-lint: io error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

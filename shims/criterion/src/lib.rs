@@ -50,6 +50,8 @@ pub struct Bencher {
 impl Bencher {
     /// Time `routine`, first warming up, then averaging over a fixed number
     /// of samples.
+    // Benchmarking is a sanctioned wall-clock use (see clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup and calibration: find an iteration count that takes a
         // perceptible amount of time, capped so slow benches stay quick.

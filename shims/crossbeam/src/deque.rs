@@ -14,15 +14,35 @@
 //!   `AtomicPtr`s, so the racy slot read a failed steal performs is an
 //!   atomic load of a pointer never dereferenced — no torn reads, no
 //!   epoch-based reclamation machinery.
-//! * Buffers retired by a grow are kept until the deque drops (each grow
-//!   doubles, so retired buffers total less than the live one).  A stealer
-//!   that loaded the old buffer therefore always reads valid memory; its
-//!   subsequent CAS on `top` decides ownership.
+//! * Buffers retired by a grow are kept allocated until a quiescent point
+//!   instead of being epoch-reclaimed: a stealer that loaded the old buffer
+//!   always reads valid memory, and its subsequent CAS on `top` decides
+//!   ownership.  Retention is bounded (see [`MAX_RETIRED_BUFFERS`]): when a
+//!   grow finds more retired generations than the cap and the SeqCst
+//!   `active` stealer counter reads zero, no stealer can be holding any
+//!   retired pointer (a stealer increments `active` *before* loading the
+//!   buffer pointer, so by the SC total order it would either have been
+//!   visible to the counter read or load the new buffer), and all retired
+//!   generations are freed.
+//!
+//! Every type is built on the cfg-switched primitives in
+//! [`crate::primitives`], so `RUSTFLAGS="--cfg dynmo_loom"` model-checks
+//! this exact implementation under the `loom` shim.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::primitives::{
+    fence, AtomicIsize, AtomicPtr, AtomicUsize, Mutex, Ordering, TryLockError,
+};
+
+/// Retired-buffer generations kept before a quiescent-point reclaim is
+/// attempted.  Grows double the ring, so `n` retained generations cost less
+/// than `2^-(n-1)` of the live buffer in total — the cap bounds the
+/// worst-case footprint at roughly 2x the live ring while keeping reclaims
+/// (and their SeqCst counter traffic) rare.
+const MAX_RETIRED_BUFFERS: usize = 4;
 
 /// The result of a steal attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +92,10 @@ impl<T> Buffer<T> {
     fn slot(&self, index: isize) -> &AtomicPtr<T> {
         &self.slots[index as usize & (self.cap() - 1)]
     }
+
+    fn bytes(&self) -> usize {
+        self.cap() * std::mem::size_of::<AtomicPtr<T>>()
+    }
 }
 
 struct Inner<T> {
@@ -81,26 +105,71 @@ struct Inner<T> {
     top: AtomicIsize,
     /// The live ring.
     buffer: AtomicPtr<Buffer<T>>,
-    /// Rings retired by grows, freed at drop so in-flight stealers always
-    /// read valid memory.
+    /// Number of stealers currently between their `active` increment and
+    /// decrement; the quiescent-point reclaim in [`Worker::grow`] frees
+    /// retired rings only when this reads zero under SeqCst.
+    active: AtomicUsize,
+    /// Rings retired by grows; freed at the next quiescent point once more
+    /// than [`MAX_RETIRED_BUFFERS`] accumulate (and always at drop).
     retired: Mutex<Vec<*mut Buffer<T>>>,
+    /// Model-check bookkeeping: rings the reclaim has logically freed are
+    /// parked here (still allocated) so [`Stealer::steal`] can assert it
+    /// never loads one — a reclaim-protocol bug becomes a clean model
+    /// failure instead of undefined behavior.  Deliberately a *std* mutex:
+    /// it is instrumentation, not part of the modeled protocol.
+    #[cfg(dynmo_loom)]
+    freed_log: std::sync::Mutex<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: the raw buffer pointers in `retired` (and `buffer`) own heap
+// allocations whose transfer between threads is governed by the Chase–Lev
+// protocol above; `T: Send` is required because elements cross threads.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: shared access is exactly the owner/stealer protocol: `bottom` is
+// owner-written, `top` is CAS-advanced, buffer retirement is quiescent-point
+// gated.  No `&self` method hands out unsynchronized references.
 unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    #[cfg(dynmo_loom)]
+    fn assert_not_freed(&self, buffer: *mut Buffer<T>) {
+        let freed = self
+            .freed_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(
+            !freed.contains(&buffer),
+            "stealer loaded a reclaimed ring buffer: quiescent-point protocol violated"
+        );
+    }
+}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
+        // ORDERING: Relaxed everywhere — `&mut self` proves no other thread
+        // still holds a handle, so these loads cannot race.
         let bottom = self.bottom.load(Ordering::Relaxed);
         let top = self.top.load(Ordering::Relaxed);
         let buffer = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `&mut self` gives exclusive access to every ring; the
+        // individual frees below are each justified at their site.
         unsafe {
-            // Remaining elements exist exactly once, in the live buffer.
+            // SAFETY: remaining elements exist exactly once, in the live
+            // buffer between `top` and `bottom`; every slot pointer in that
+            // range came from `Box::into_raw` in `push` and was never
+            // extracted (extraction advances `top` or `bottom` past it).
             for index in top..bottom {
+                // ORDERING: Relaxed — exclusive access, nothing to
+                // synchronize with.
                 let ptr = (*buffer).slot(index).load(Ordering::Relaxed);
                 drop(Box::from_raw(ptr));
             }
+            // SAFETY: `buffer` came from `Box::into_raw` in `new_lifo` /
+            // `grow` and ownership of the live ring ends here.
             drop(Box::from_raw(buffer));
+            // SAFETY: retired rings came from `Box::into_raw` in `grow`,
+            // hold no element ownership (elements live once, reachable from
+            // the live ring), and no stealer can exist during drop.
             for retired in self
                 .retired
                 .lock()
@@ -108,6 +177,18 @@ impl<T> Drop for Inner<T> {
                 .drain(..)
             {
                 drop(Box::from_raw(retired));
+            }
+            #[cfg(dynmo_loom)]
+            // SAFETY: under the model checker, "freed" rings are parked in
+            // the log instead of dropped (see `freed_log`); they are
+            // genuinely released here.
+            for parked in self
+                .freed_log
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .drain(..)
+            {
+                drop(Box::from_raw(parked));
             }
         }
     }
@@ -139,12 +220,25 @@ impl<T: Send> Worker<T> {
     /// `new_fifo`/`new_lifo`; this deque is LIFO for the owner, like
     /// rayon's).
     pub fn new_lifo() -> Self {
+        Self::with_min_capacity(64)
+    }
+
+    /// Create an empty deque whose initial ring holds at least `cap`
+    /// elements (rounded up to a power of two).  Small capacities make
+    /// buffer growth reachable within a handful of operations, which the
+    /// loom model-check suite depends on; production callers want the
+    /// [`Worker::new_lifo`] default.
+    pub fn with_min_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
         Worker {
             inner: Arc::new(Inner {
                 bottom: AtomicIsize::new(0),
                 top: AtomicIsize::new(0),
-                buffer: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+                buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
+                active: AtomicUsize::new(0),
                 retired: Mutex::new(Vec::new()),
+                #[cfg(dynmo_loom)]
+                freed_log: std::sync::Mutex::new(Vec::new()),
             }),
             _not_sync: PhantomData,
         }
@@ -159,64 +253,148 @@ impl<T: Send> Worker<T> {
 
     /// Whether the deque was observed empty.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: Relaxed — an emptiness probe is advisory by nature; the
+        // caller must tolerate staleness in either direction, and the owner
+        // reads its own `bottom` writes regardless.
         let bottom = self.inner.bottom.load(Ordering::Relaxed);
         let top = self.inner.top.load(Ordering::Relaxed);
         top >= bottom
     }
 
+    /// Bytes currently held by retired (not yet reclaimed) ring buffers.
+    /// Exposed so tests and telemetry can bound the retention backlog.
+    pub fn retired_bytes(&self) -> usize {
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            // SAFETY: pointers in `retired` stay allocated until drained by
+            // the reclaim in `grow` or by `Inner::drop`, both of which hold
+            // this same lock; holding it here keeps them alive.
+            .map(|&retired| unsafe { (*retired).bytes() })
+            .sum()
+    }
+
+    /// Number of retired (not yet reclaimed) ring buffers.
+    pub fn retired_generations(&self) -> usize {
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
     /// Push a task onto the owner (bottom) end.
     pub fn push(&self, task: T) {
         let inner = &*self.inner;
+        // ORDERING: Relaxed — only the owner writes `bottom`, and this is
+        // the owner reading its own last write.
         let bottom = inner.bottom.load(Ordering::Relaxed);
+        // ORDERING: Acquire pairs with the stealers' SeqCst CAS on `top`:
+        // observing an advanced `top` here must also make the thieves'
+        // consumption of those slots visible before the owner reuses them.
         let top = inner.top.load(Ordering::Acquire);
+        // ORDERING: Relaxed — only the owner stores `buffer` (in `grow`);
+        // this is the owner reading its own last write.
         let mut buffer = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buffer` is the live ring (owner-only writes); the grow
+        // and slot store inside are each justified at their site.
         unsafe {
             if bottom - top >= (*buffer).cap() as isize {
+                // SAFETY: `bottom`/`top` were read above and only the owner
+                // moves `bottom`; `buffer` is the live ring.
                 buffer = self.grow(bottom, top, buffer);
             }
+            // SAFETY: the ring has a free slot at `bottom` (grown above if
+            // needed); stealers never read past `bottom`, which is not yet
+            // published to include this slot.
             (*buffer)
                 .slot(bottom)
+                // ORDERING: Relaxed — publication of the slot's contents is
+                // ordered by the Release fence below, before the `bottom`
+                // store that makes the slot visible to thieves.
                 .store(Box::into_raw(Box::new(task)), Ordering::Relaxed);
         }
+        // Publishes the slot store above to any thief whose Acquire load of
+        // `bottom` observes the new value.
         fence(Ordering::Release);
+        // ORDERING: Relaxed — made visible by the Release fence above; Lê
+        // et al. fig. 1 uses exactly this fence+relaxed-store pair.
         inner.bottom.store(bottom + 1, Ordering::Relaxed);
     }
 
     /// Pop a task from the owner (bottom) end.
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
+        // ORDERING: Relaxed — owner reads its own `bottom` write.
         let bottom = inner.bottom.load(Ordering::Relaxed) - 1;
+        // ORDERING: Relaxed — owner reads its own `buffer` write.
         let buffer = inner.buffer.load(Ordering::Relaxed);
+        // ORDERING: Relaxed — the SeqCst fence below globally orders this
+        // reservation against the thieves' steal sequence.
         inner.bottom.store(bottom, Ordering::Relaxed);
+        // The heart of Chase–Lev: totally orders the owner's `bottom`
+        // reservation against every thief's `top` read (their SeqCst fence
+        // in `steal`), so owner and thief cannot both miss each other on
+        // the last element.
         fence(Ordering::SeqCst);
+        // ORDERING: Relaxed — ordered by the SeqCst fence above.
         let top = inner.top.load(Ordering::Relaxed);
         if top <= bottom {
+            // SAFETY: `bottom` was reserved above, so no thief will read
+            // slot `bottom` unless it already advanced `top` past it — and
+            // then the CAS below fails and we do not use `ptr`.
+            // ORDERING: Relaxed — the slot was written by this same thread
+            // in `push` (program order suffices).
             let ptr = unsafe { (*buffer).slot(bottom).load(Ordering::Relaxed) };
             if top == bottom {
                 // Racing thieves for the last element: the CAS on `top`
                 // decides ownership either way.
+                // ORDERING: SeqCst success keeps the last-element handoff in
+                // the single total order with both SeqCst fences; Relaxed
+                // failure is enough because losing means a thief's SeqCst
+                // CAS already won and we discard `ptr` unread.
                 let won = inner
                     .top
                     .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                // ORDERING: Relaxed — un-reserving; only the owner reads
+                // `bottom` non-advisorily.
                 inner.bottom.store(bottom + 1, Ordering::Relaxed);
                 if !won {
                     return None;
                 }
             }
+            // SAFETY: ownership of the element at `bottom` is decided: the
+            // fast path reserved it below every thief's reach, and the
+            // last-element path won the CAS.  `ptr` came from `Box::into_raw`
+            // in `push` and is extracted exactly once.
             Some(unsafe { *Box::from_raw(ptr) })
         } else {
             // Already empty; restore bottom.
+            // ORDERING: Relaxed — owner-only bookkeeping.
             inner.bottom.store(bottom + 1, Ordering::Relaxed);
             None
         }
     }
 
     /// Double the ring, copying live slots; the old ring is retired (kept
-    /// allocated) so concurrent stealers never read freed memory.
+    /// allocated) so concurrent stealers never read freed memory, and the
+    /// backlog is reclaimed at a quiescent point (no active stealers) once
+    /// it exceeds [`MAX_RETIRED_BUFFERS`] generations.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the owner thread, `bottom`/`top` must be the values
+    /// just read in `push`, and `old` must be the live ring.
     unsafe fn grow(&self, bottom: isize, top: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
         let new = Box::into_raw(Buffer::new((*old).cap() * 2));
         for index in top..bottom {
+            // ORDERING: Relaxed on both — the owner wrote every live slot
+            // (or copied it in an earlier grow) and is the only writer of
+            // slots; thieves that race with the copy re-check via their CAS
+            // on `top`.
             let ptr = (*old).slot(index).load(Ordering::Relaxed);
             (*new).slot(index).store(ptr, Ordering::Relaxed);
         }
@@ -225,14 +403,57 @@ impl<T: Send> Worker<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(old);
-        self.inner.buffer.store(new, Ordering::Release);
+        // ORDERING: SeqCst (not merely Release) — the quiescent-point
+        // reclaim below argues in the SC total order: any stealer whose
+        // `active` increment is ordered after the counter read here must
+        // also order its `buffer` load after this store, so it can only
+        // load the new ring, never a reclaimed one.
+        self.inner.buffer.store(new, Ordering::SeqCst);
+        self.reclaim_retired();
         new
+    }
+
+    /// Free every retired ring if the backlog exceeds the cap and no
+    /// stealer is active (Dekker-style SC argument; see `grow`).
+    fn reclaim_retired(&self) {
+        let mut retired = self.inner.retired.lock().unwrap_or_else(|e| e.into_inner());
+        if retired.len() <= MAX_RETIRED_BUFFERS {
+            return;
+        }
+        // ORDERING: SeqCst — pairs with the stealers' SeqCst `active`
+        // increment/decrement and the SeqCst `buffer` store above; reading
+        // zero here proves every stealer either completed (its loads are
+        // done) or will increment after this read, forcing its subsequent
+        // SeqCst `buffer` load to observe the new ring.
+        if self.inner.active.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        for old in retired.drain(..) {
+            #[cfg(dynmo_loom)]
+            // Under the model checker, park instead of freeing so a
+            // protocol violation is a caught assertion, not UB.
+            self.inner
+                .freed_log
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(old);
+            #[cfg(not(dynmo_loom))]
+            // SAFETY: `old` came from `Box::into_raw` in `grow`, owns no
+            // elements (the live ring does), is no longer reachable from
+            // `buffer` (overwritten by a later SeqCst store), and the
+            // quiescence check above proves no stealer still holds it.
+            unsafe {
+                drop(Box::from_raw(old))
+            };
+        }
     }
 }
 
 impl<T: Send> Stealer<T> {
     /// Whether the deque was observed empty.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: Acquire on both so the probe observes a consistent
+        // prefix of the owner's publications; still only advisory.
         let top = self.inner.top.load(Ordering::Acquire);
         let bottom = self.inner.bottom.load(Ordering::Acquire);
         top >= bottom
@@ -241,23 +462,61 @@ impl<T: Send> Stealer<T> {
     /// Steal a task from the top (FIFO) end.
     pub fn steal(&self) -> Steal<T> {
         let inner = &*self.inner;
+        // ORDERING: SeqCst — announces this stealer to the quiescent-point
+        // reclaim *before* the `buffer` load below; see `reclaim_retired`.
+        inner.active.fetch_add(1, Ordering::SeqCst);
+        let result = self.steal_inner();
+        // ORDERING: SeqCst — the matching retreat; after this the stealer
+        // holds no ring pointer, so a reclaim observing zero may free.
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    fn steal_inner(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        // ORDERING: Acquire pairs with competing thieves' SeqCst CAS on
+        // `top` so a successful earlier steal's consumption is visible.
         let top = inner.top.load(Ordering::Acquire);
+        // Totally orders this thief's `bottom` read against the owner's
+        // `bottom` reservation in `pop` (its SeqCst fence).
         fence(Ordering::SeqCst);
+        // ORDERING: Acquire pairs with the owner's Release fence in `push`,
+        // making the slot contents for everything below `bottom` visible.
         let bottom = inner.bottom.load(Ordering::Acquire);
         if top < bottom {
-            let buffer = inner.buffer.load(Ordering::Acquire);
+            // ORDERING: SeqCst — must observe at least the ring published
+            // by the SeqCst store in any `grow` whose reclaim could not see
+            // our `active` increment; Acquire would allow an older (possibly
+            // reclaimed) ring.  See `reclaim_retired`.
+            let buffer = inner.buffer.load(Ordering::SeqCst);
+            #[cfg(dynmo_loom)]
+            self.inner.assert_not_freed(buffer);
             // This load may race with the owner overwriting the slot after
             // a wrap — but a wrap past `top` forces a grow first, and a
             // concurrent pop of this element moves `top`; either way the
             // CAS below fails and the pointer is discarded unread.
+            // SAFETY: `buffer` is the live ring or a retired-but-retained
+            // one (the `active` counter blocks reclaim while we hold it);
+            // either way the allocation is valid and the slot read is an
+            // atomic pointer load, never a dereference.
+            // ORDERING: Relaxed slot load — the value is used only if the
+            // CAS below succeeds, whose SeqCst success edge (with the
+            // owner's Release fence in `push`) orders the slot write before
+            // this read.
             let ptr = unsafe { (*buffer).slot(top).load(Ordering::Relaxed) };
             if inner
                 .top
+                // ORDERING: SeqCst success joins the total order deciding
+                // element ownership against `pop`'s CAS and both SeqCst
+                // fences; Relaxed failure — losers discard `ptr` unread.
                 .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_err()
             {
                 return Steal::Retry;
             }
+            // SAFETY: the CAS advanced `top` over this element, so this
+            // thief owns it exclusively; `ptr` came from `Box::into_raw` in
+            // `push` and is extracted exactly once.
             Steal::Success(unsafe { *Box::from_raw(ptr) })
         } else {
             Steal::Empty
@@ -301,8 +560,8 @@ impl<T> Injector<T> {
                 Some(task) => Steal::Success(task),
                 None => Steal::Empty,
             },
-            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
-            Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+            Err(TryLockError::WouldBlock) => Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
                 Some(task) => Steal::Success(task),
                 None => Steal::Empty,
             },
@@ -327,6 +586,7 @@ impl<T> Injector<T> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn owner_is_lifo_thief_is_fifo() {
@@ -375,6 +635,73 @@ mod tests {
             drop(worker.pop()); // one dropped by consumption
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    /// Regression for unbounded retired-buffer retention: repeated grows
+    /// with no stealer in flight must reclaim at the quiescent point, so
+    /// the retained backlog stays under the generation cap and the
+    /// retained bytes stay a small multiple of the live ring.
+    #[test]
+    fn retired_buffers_are_bounded_across_grows() {
+        let worker: Worker<usize> = Worker::with_min_capacity(2);
+        let mut peak_generations = 0;
+        let mut peak_bytes = 0;
+        // 2 -> 4 -> ... -> 2^14: thirteen grows, enough to trip the cap
+        // several times over.
+        for i in 0..(1 << 13) {
+            worker.push(i);
+            peak_generations = peak_generations.max(worker.retired_generations());
+            peak_bytes = peak_bytes.max(worker.retired_bytes());
+        }
+        assert!(
+            peak_generations <= MAX_RETIRED_BUFFERS + 1,
+            "retention cap breached: {peak_generations} generations retained"
+        );
+        // Retained generations are the geometric tail below the live ring:
+        // with the cap they can never exceed the live ring's own size.
+        let live_bytes = (1usize << 13) * std::mem::size_of::<AtomicPtr<usize>>();
+        assert!(
+            peak_bytes <= live_bytes,
+            "retained {peak_bytes} bytes exceeds live ring {live_bytes}"
+        );
+        // Quiescent reclaim actually ran: the backlog ends below the cap.
+        assert!(worker.retired_generations() <= MAX_RETIRED_BUFFERS);
+        // Contents survived every grow + reclaim.
+        for i in (0..(1 << 13)).rev() {
+            assert_eq!(worker.pop(), Some(i));
+        }
+    }
+
+    /// An in-flight stealer must block the quiescent-point reclaim (the
+    /// `active` counter is what keeps its loaded ring alive).
+    #[test]
+    fn reclaim_is_blocked_while_a_stealer_is_active() {
+        let worker: Worker<usize> = Worker::with_min_capacity(2);
+        let stealer = worker.stealer();
+        // Hold `active` high by running steals concurrently with grows.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thief = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut got = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    if stealer.steal().success().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            })
+        };
+        let mut owner_got = 0usize;
+        for i in 0..(1 << 12) {
+            worker.push(i);
+        }
+        while worker.pop().is_some() {
+            owner_got += 1;
+        }
+        stop.store(true, Ordering::SeqCst);
+        let stolen = thief.join().unwrap();
+        assert_eq!(owner_got + stolen, 1 << 12);
     }
 
     /// Stress the owner-pop vs. thief-steal race: every pushed value must

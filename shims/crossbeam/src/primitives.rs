@@ -1,0 +1,19 @@
+//! cfg-switched concurrency primitives.
+//!
+//! Normal builds alias straight to `std::sync`; building the workspace with
+//! `RUSTFLAGS="--cfg dynmo_loom"` swaps every primitive the deque and
+//! channel are made of for its `loom` model-checked twin, so the loom test
+//! suites explore all interleavings of the *real* implementation code, not
+//! a copy.  The loom types degrade to plain std behavior when constructed
+//! outside a `loom::model` closure, so the ordinary unit/stress tests keep
+//! working under either cfg.
+
+#[cfg(dynmo_loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(dynmo_loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, TryLockError};
+
+#[cfg(not(dynmo_loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(dynmo_loom))]
+pub(crate) use std::sync::{Condvar, Mutex, TryLockError};

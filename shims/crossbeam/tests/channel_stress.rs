@@ -1,0 +1,103 @@
+//! MPMC stress tests for the channel: many producers and many consumers
+//! hammering one unbounded channel, checking conservation (every message
+//! delivered exactly once) and clean disconnection.  Runs under the normal
+//! cfg and under `--cfg dynmo_loom` (where the loom types degrade to std
+//! behavior outside a model).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, RecvTimeoutError};
+
+#[test]
+fn mpmc_stress_conserves_every_message() {
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: usize = 5_000;
+
+    let (tx, rx) = unbounded::<usize>();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    tx.send(p * PER_PRODUCER + i).unwrap();
+                }
+            })
+        })
+        .collect();
+    // Drop the original so the channel disconnects once producers finish.
+    drop(tx);
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    let mut seen = HashSet::new();
+    let mut total = 0usize;
+    for c in consumers {
+        for v in c.join().unwrap() {
+            assert!(seen.insert(v), "message {v} delivered twice");
+            total += 1;
+        }
+    }
+    assert_eq!(total, PRODUCERS * PER_PRODUCER, "messages lost");
+}
+
+#[test]
+fn mpmc_timeout_consumers_drain_bursty_producers() {
+    const CONSUMERS: usize = 3;
+    const MESSAGES: usize = 3_000;
+
+    let (tx, rx) = unbounded::<usize>();
+    let delivered = Arc::new(AtomicUsize::new(0));
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let rx = rx.clone();
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || loop {
+                match rx.recv_timeout(std::time::Duration::from_secs(10)) {
+                    Ok(_) => {
+                        delivered.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        panic!("spurious timeout with live senders")
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    // Bursty producer: batches separated by yields so consumers park and
+    // re-wake repeatedly.
+    for burst in 0..30 {
+        for i in 0..(MESSAGES / 30) {
+            tx.send(burst * 100 + i).unwrap();
+        }
+        std::thread::yield_now();
+    }
+    drop(tx);
+
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(delivered.load(Ordering::SeqCst), MESSAGES);
+}

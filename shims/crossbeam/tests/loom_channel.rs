@@ -1,0 +1,224 @@
+//! Exhaustive model checks of the MPMC channel under the `loom` shim.
+//!
+//! Build with `RUSTFLAGS="--cfg dynmo_loom"`.  The channel's whole reason to
+//! exist (see `lib.rs`) is the park/unpark discipline: a receiver blocked in
+//! `recv` must hold no lock while parked, and no notify may be lost between
+//! the emptiness check and the park.  These tests explore every interleaving
+//! of that protocol; `mutation_*` proves the model has teeth by seeding the
+//! pre-rework bug (mutex held across the park) into a faithful mirror and
+//! requiring a reported deadlock.
+#![cfg(dynmo_loom)]
+
+use crossbeam::channel::{unbounded, RecvError, TryRecvError};
+
+/// Run `body` under the model expecting a failure; returns the panic text.
+fn expect_model_failure(body: impl Fn() + Send + Sync + 'static) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        loom::model(body);
+    }));
+    match result {
+        Ok(_) => panic!("model unexpectedly passed"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                panic!("non-string model failure payload")
+            }
+        }
+    }
+}
+
+/// One sender, one parked receiver: in every interleaving — receiver checks
+/// first and parks, or the send lands first — the message arrives.  A lost
+/// wakeup would park the receiver forever and be reported as a deadlock.
+#[test]
+fn send_never_loses_the_wakeup() {
+    let report = loom::model(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let receiver = loom::thread::spawn(move || rx.recv());
+        tx.send(7).unwrap();
+        assert_eq!(receiver.join().unwrap(), Ok(7));
+    });
+    println!(
+        "send/recv no-lost-wakeup: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// Dropping the last sender must wake a parked receiver into `RecvError`
+/// (disconnection is delivered through the same condvar as data).
+#[test]
+fn disconnect_wakes_parked_receiver() {
+    let report = loom::model(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let receiver = loom::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(receiver.join().unwrap(), Err(RecvError));
+    });
+    println!(
+        "disconnect-wakes-receiver: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// Two parked receivers, two messages: `notify_one` routing must deliver
+/// both messages whichever waiter each notify picks (the model branches over
+/// the waiter choice).
+#[test]
+fn two_receivers_both_get_a_message() {
+    let report = loom::Builder {
+        preemption_bound: Some(2),
+        ..loom::Builder::new()
+    }
+    .check(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let first = loom::thread::spawn(move || rx.recv().unwrap());
+        let second = loom::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![first.join().unwrap(), second.join().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "a message was lost or duplicated");
+    });
+    println!(
+        "two-receivers-two-messages: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// The regression the rework fixed, as a model property: while one receiver
+/// is parked in `recv`, a sibling's `try_recv` must complete (the park holds
+/// no lock).  If the parked receiver kept the queue lock, `try_recv` would
+/// block behind it and the model would report the deadlock.
+#[test]
+fn parked_receiver_does_not_block_try_recv() {
+    let report = loom::model(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let rx_parked = rx.clone();
+        let parked = loom::thread::spawn(move || rx_parked.recv().unwrap());
+        // Runs concurrently with the parked receiver; must always return.
+        let result = rx.try_recv();
+        assert!(matches!(result, Err(TryRecvError::Empty) | Ok(9)));
+        if result.is_err() {
+            tx.send(9).unwrap();
+            assert_eq!(parked.join().unwrap(), 9);
+        } else {
+            // try_recv raced the send below it in program order — impossible
+            // here since we had not sent yet.
+            unreachable!("received before any send");
+        }
+    });
+    println!(
+        "parked-receiver-try-recv: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Mutation teeth-check: mirror of the recv park protocol, with the
+// pre-rework bug (mutex held across the park) seeded back in.
+// ---------------------------------------------------------------------------
+
+mod mirror {
+    //! The park/unpark skeleton of `channel::Receiver::recv`, with the data
+    //! queue reduced to an `Option<u32>` in a mutex.  `recv_holding_lock`
+    //! reintroduces the bug the rework removed: the receiver keeps the
+    //! queue mutex and parks on a condvar tied to a *different* mutex, so
+    //! the sender can never acquire the queue and deliver — exactly the
+    //! shape of a lock held across a park.
+
+    use loom::sync::{Arc, Condvar, Mutex};
+
+    pub struct Mirror {
+        pub queue: Mutex<Option<u32>>,
+        pub ready: Condvar,
+        pub side: Mutex<()>,
+    }
+
+    impl Mirror {
+        pub fn new() -> Arc<Self> {
+            Arc::new(Mirror {
+                queue: Mutex::new(None),
+                ready: Condvar::new(),
+                side: Mutex::new(()),
+            })
+        }
+
+        pub fn send(&self, value: u32) {
+            *self.queue.lock().unwrap() = Some(value);
+            self.ready.notify_one();
+        }
+
+        /// Faithful protocol: the condvar atomically releases the queue
+        /// mutex for the whole park.
+        pub fn recv(&self) -> u32 {
+            let mut queue = self.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.take() {
+                    return value;
+                }
+                queue = self.ready.wait(queue).unwrap();
+            }
+        }
+
+        /// Seeded mutation: park on a side mutex while still holding the
+        /// queue mutex.
+        pub fn recv_holding_lock(&self) -> u32 {
+            let mut queue = self.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.take() {
+                    return value;
+                }
+                let side = self.side.lock().unwrap();
+                drop(self.ready.wait(side).unwrap());
+            }
+        }
+    }
+}
+
+/// Faithful mirror passes exhaustively.
+#[test]
+fn mutation_baseline_park_releases_lock() {
+    let report = loom::model(|| {
+        let channel = mirror::Mirror::new();
+        let receiver = {
+            let channel = loom::sync::Arc::clone(&channel);
+            loom::thread::spawn(move || channel.recv())
+        };
+        channel.send(5);
+        assert_eq!(receiver.join().unwrap(), 5);
+    });
+    println!(
+        "mirror baseline: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated);
+}
+
+/// Seeded mutation #2 (mutex held across the park — the pre-PR-6 channel
+/// bug): the model must report the deadlock where the parked receiver still
+/// owns the queue mutex the sender needs.
+#[test]
+fn mutation_lock_held_across_park_is_caught() {
+    let failure = expect_model_failure(|| {
+        let channel = mirror::Mirror::new();
+        let receiver = {
+            let channel = loom::sync::Arc::clone(&channel);
+            loom::thread::spawn(move || channel.recv_holding_lock())
+        };
+        channel.send(5);
+        assert_eq!(receiver.join().unwrap(), 5);
+    });
+    println!("mutation #2 caught: {failure}");
+    assert!(
+        failure.contains("deadlock"),
+        "expected a reported deadlock, got: {failure}"
+    );
+}

@@ -1,0 +1,260 @@
+//! Exhaustive model checks of the Chase–Lev deque under the `loom` shim.
+//!
+//! Build with `RUSTFLAGS="--cfg dynmo_loom"`; under the normal cfg this file
+//! compiles to nothing.  Each test prints the number of interleavings the
+//! model explored so CI logs show the state space was actually covered.
+//!
+//! The `mutation_*` tests are the teeth-check required by the issue: a
+//! faithful mirror of the deque's publication protocol passes exhaustively,
+//! and a seeded memory-ordering downgrade (the classic Acquire→Relaxed slip
+//! in `steal`) is proven to make the model fail.
+#![cfg(dynmo_loom)]
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crossbeam::deque::{Steal, Worker};
+
+/// Run `body` under the model expecting a failure; returns the panic text.
+fn expect_model_failure(body: impl Fn() + Send + Sync + 'static) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        loom::model(body);
+    }));
+    match result {
+        Ok(_) => panic!("model unexpectedly passed"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                panic!("non-string model failure payload")
+            }
+        }
+    }
+}
+
+/// The fundamental Chase–Lev race: owner pop and thief steal compete for the
+/// last element.  Exactly one must win in every interleaving, and both
+/// outcomes must be reachable.
+#[test]
+fn last_element_goes_to_exactly_one_of_pop_and_steal() {
+    let outcomes: Arc<StdMutex<HashSet<&'static str>>> = Arc::default();
+    let seen = Arc::clone(&outcomes);
+    let report = loom::Builder {
+        preemption_bound: Some(3),
+        ..loom::Builder::new()
+    }
+    .check(move || {
+        let worker = Worker::with_min_capacity(2);
+        worker.push(41usize);
+        let stealer = worker.stealer();
+        let thief = loom::thread::spawn(move || stealer.steal().success());
+        let popped = worker.pop();
+        let stolen = thief.join().unwrap();
+        assert_eq!(
+            popped.is_some() as usize + stolen.is_some() as usize,
+            1,
+            "last element must be extracted exactly once (popped={popped:?} stolen={stolen:?})"
+        );
+        assert_eq!(popped.or(stolen), Some(41));
+        seen.lock()
+            .unwrap()
+            .insert(if popped.is_some() { "owner" } else { "thief" });
+    });
+    println!(
+        "pop-vs-steal last element: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+    let outcomes = outcomes.lock().unwrap();
+    assert!(outcomes.contains("owner"), "owner never won the race");
+    assert!(outcomes.contains("thief"), "thief never won the race");
+}
+
+/// Two elements, concurrent pop and steal: every element is extracted
+/// exactly once across both ends, in every interleaving.
+#[test]
+fn pop_and_steal_conserve_two_elements() {
+    let report = loom::Builder {
+        preemption_bound: Some(2),
+        ..loom::Builder::new()
+    }
+    .check(|| {
+        let worker = Worker::with_min_capacity(2);
+        worker.push(1usize);
+        worker.push(2usize);
+        let stealer = worker.stealer();
+        let thief = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                match stealer.steal() {
+                    Steal::Success(v) => got.push(v),
+                    Steal::Empty | Steal::Retry => {}
+                }
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Some(v) = worker.pop() {
+            got.push(v);
+        }
+        got.extend(thief.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "elements lost or duplicated");
+    });
+    println!(
+        "two-element conservation: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// Buffer growth racing a steal: the owner's push doubles the ring (retiring
+/// the old buffer) while a thief holds a pointer to the old one.  The retire
+/// list (not freeing) plus the top CAS must keep every element intact; the
+/// freed-log assertion inside `steal` additionally proves the quiescent
+/// reclaim never frees a ring a stealer can still observe.
+#[test]
+fn growth_during_steal_preserves_elements() {
+    let report = loom::Builder {
+        preemption_bound: Some(2),
+        ..loom::Builder::new()
+    }
+    .check(|| {
+        let worker = Worker::with_min_capacity(2);
+        worker.push(1usize);
+        worker.push(2usize); // ring now full (cap 2)
+        let stealer = worker.stealer();
+        let thief = loom::thread::spawn(move || stealer.steal().success());
+        worker.push(3usize); // forces grow while the thief may hold the old ring
+        let mut got = Vec::new();
+        while let Some(v) = worker.pop() {
+            got.push(v);
+        }
+        got.extend(thief.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "growth lost or duplicated an element");
+    });
+    println!(
+        "growth-during-steal: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Mutation teeth-check: a faithful mirror of the deque's publication protocol
+// passes; seeded ordering downgrades must fail.
+// ---------------------------------------------------------------------------
+
+mod mirror {
+    //! A value-carrying mirror of the push/steal publication protocol (the
+    //! exact fence/ordering skeleton of `deque.rs`, with `usize` slots in
+    //! place of pointers so a visibility bug shows up as a wrong value
+    //! instead of undefined behavior).  The `steal_bottom` ordering is a
+    //! parameter so the mutation test can downgrade exactly one edge.
+
+    use loom::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+    pub struct Mirror {
+        bottom: AtomicIsize,
+        top: AtomicIsize,
+        slots: [AtomicUsize; 4],
+    }
+
+    pub const EMPTY: usize = 0;
+
+    impl Mirror {
+        pub fn new() -> Self {
+            Mirror {
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+                slots: [
+                    AtomicUsize::new(EMPTY),
+                    AtomicUsize::new(EMPTY),
+                    AtomicUsize::new(EMPTY),
+                    AtomicUsize::new(EMPTY),
+                ],
+            }
+        }
+
+        /// `Worker::push` skeleton: relaxed slot store published by a
+        /// Release fence before the relaxed `bottom` store.
+        pub fn push(&self, value: usize) {
+            let bottom = self.bottom.load(Ordering::Relaxed);
+            self.slots[(bottom & 3) as usize].store(value, Ordering::Relaxed);
+            fence(Ordering::Release);
+            self.bottom.store(bottom + 1, Ordering::Relaxed);
+        }
+
+        /// `Stealer::steal` skeleton.  The faithful protocol loads `bottom`
+        /// with Acquire (pairing with the push-side Release fence); the
+        /// mutation passes Relaxed here, which permits stealing a slot whose
+        /// contents are not yet visible.
+        pub fn steal(&self, bottom_order: Ordering) -> Option<usize> {
+            let top = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let bottom = self.bottom.load(bottom_order);
+            if top < bottom {
+                let value = self.slots[(top & 3) as usize].load(Ordering::Relaxed);
+                if self
+                    .top
+                    .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return Some(value);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Faithful mirror: the Acquire `bottom` load makes the pushed value visible
+/// before the steal can observe the published index — in every interleaving.
+#[test]
+fn mutation_baseline_acquire_steal_is_correct() {
+    let report = loom::model(|| {
+        let deque = loom::sync::Arc::new(mirror::Mirror::new());
+        let thief = {
+            let deque = loom::sync::Arc::clone(&deque);
+            loom::thread::spawn(move || deque.steal(loom::sync::atomic::Ordering::Acquire))
+        };
+        deque.push(41);
+        if let Some(stolen) = thief.join().unwrap() {
+            assert_ne!(stolen, mirror::EMPTY, "stole an unpublished slot");
+            assert_eq!(stolen, 41);
+        }
+    });
+    println!(
+        "mirror baseline: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated);
+}
+
+/// Seeded mutation #1 (Acquire→Relaxed downgrade on steal's `bottom` load,
+/// the deque analogue of dropping the Lê et al. read fence): the model must
+/// find the interleaving where the thief observes the new `bottom` but stale
+/// slot contents.
+#[test]
+fn mutation_relaxed_steal_bottom_load_is_caught() {
+    let failure = expect_model_failure(|| {
+        let deque = loom::sync::Arc::new(mirror::Mirror::new());
+        let thief = {
+            let deque = loom::sync::Arc::clone(&deque);
+            loom::thread::spawn(move || deque.steal(loom::sync::atomic::Ordering::Relaxed))
+        };
+        deque.push(41);
+        if let Some(stolen) = thief.join().unwrap() {
+            assert_ne!(stolen, mirror::EMPTY, "stole an unpublished slot");
+            assert_eq!(stolen, 41);
+        }
+    });
+    println!("mutation #1 caught: {failure}");
+    assert!(
+        failure.contains("stole an unpublished slot"),
+        "unexpected failure mode: {failure}"
+    );
+}

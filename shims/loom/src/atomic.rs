@@ -1,0 +1,350 @@
+//! Model-aware atomic types mirroring `std::sync::atomic`.
+//!
+//! Each atomic decides at construction time whether it lives inside a model
+//! execution (a [`crate::model`] closure is running on this thread): model
+//! atomics route every access through the execution engine, which records
+//! the full modification order and explores which store each load observes;
+//! atomics constructed outside a model degrade to the real `std` primitive,
+//! so code instrumented with these types behaves identically when exercised
+//! by ordinary tests.
+
+use std::panic::Location;
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec::{self, Execution};
+
+/// Values are modeled as raw `u64` bit patterns so one store-history
+/// implementation serves every atomic width.
+trait Bits: Copy {
+    fn to_bits(self) -> u64;
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_bits {
+    ($ty:ty, $via:ty) => {
+        impl Bits for $ty {
+            fn to_bits(self) -> u64 {
+                self as $via as u64
+            }
+            fn from_bits(bits: u64) -> Self {
+                bits as $via as $ty
+            }
+        }
+    };
+}
+
+impl_bits!(usize, u64);
+impl_bits!(isize, i64);
+impl_bits!(u64, u64);
+impl_bits!(u32, u32);
+impl_bits!(i64, i64);
+impl_bits!(i32, i32);
+
+impl Bits for bool {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+enum Repr<S> {
+    /// Constructed outside any model: defer to the real primitive.
+    Std(S),
+    /// Constructed inside a model: `loc` indexes the execution's store
+    /// histories.
+    Model { exec: Arc<Execution>, loc: usize },
+}
+
+/// The calling thread's model id, when it belongs to `exec`'s execution.
+fn model_tid(exec: &Arc<Execution>) -> Option<usize> {
+    let (current, tid) = exec::current()?;
+    Arc::ptr_eq(&current, exec).then_some(tid)
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty, $std:ty) => {
+        pub struct $name {
+            repr: Repr<$std>,
+        }
+
+        impl $name {
+            pub fn new(value: $ty) -> Self {
+                let repr = match exec::current() {
+                    Some((exec, _tid)) => {
+                        let loc = exec.register_atomic(Bits::to_bits(value));
+                        Repr::Model { exec, loc }
+                    }
+                    None => Repr::Std(<$std>::new(value)),
+                };
+                $name { repr }
+            }
+
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match &self.repr {
+                    Repr::Std(a) => a.load(ord),
+                    Repr::Model { exec, loc } => {
+                        let bits = match model_tid(exec) {
+                            Some(tid) => exec.atomic_load(tid, *loc, ord, Location::caller()),
+                            None => exec.direct_load(*loc),
+                        };
+                        Bits::from_bits(bits)
+                    }
+                }
+            }
+
+            #[track_caller]
+            pub fn store(&self, value: $ty, ord: Ordering) {
+                match &self.repr {
+                    Repr::Std(a) => a.store(value, ord),
+                    Repr::Model { exec, loc } => match model_tid(exec) {
+                        Some(tid) => exec.atomic_store(
+                            tid,
+                            *loc,
+                            Bits::to_bits(value),
+                            ord,
+                            Location::caller(),
+                        ),
+                        None => exec.direct_store(*loc, Bits::to_bits(value)),
+                    },
+                }
+            }
+
+            #[track_caller]
+            pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                match &self.repr {
+                    Repr::Std(a) => a.swap(value, ord),
+                    Repr::Model { exec, loc } => {
+                        let bits = Bits::to_bits(value);
+                        self.rmw(exec, *loc, ord, ord, move |_| Some(bits))
+                    }
+                }
+            }
+
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match &self.repr {
+                    Repr::Std(a) => a.compare_exchange(current, new, success, failure),
+                    Repr::Model { exec, loc } => {
+                        let want = Bits::to_bits(current);
+                        let next = Bits::to_bits(new);
+                        let old = self.rmw(exec, *loc, success, failure, move |v| {
+                            (v == want).then_some(next)
+                        });
+                        if Bits::to_bits(old) == want {
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                }
+            }
+
+            /// The model treats weak CAS as strong (no spurious failures);
+            /// this under-approximates liveness, never safety.
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match &self.repr {
+                    Repr::Std(a) => a.compare_exchange_weak(current, new, success, failure),
+                    Repr::Model { .. } => self.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            #[track_caller]
+            fn rmw(
+                &self,
+                exec: &Arc<Execution>,
+                loc: usize,
+                ord: Ordering,
+                failure_ord: Ordering,
+                op: impl FnOnce(u64) -> Option<u64>,
+            ) -> $ty {
+                let bits = match model_tid(exec) {
+                    Some(tid) => {
+                        exec.atomic_rmw(tid, loc, ord, failure_ord, op, Location::caller())
+                    }
+                    None => {
+                        let old = exec.direct_load(loc);
+                        if let Some(new) = op(old) {
+                            exec.direct_store(loc, new);
+                        }
+                        old
+                    }
+                };
+                Bits::from_bits(bits)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            #[track_caller]
+            pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                match &self.repr {
+                    Repr::Std(a) => a.fetch_add(value, ord),
+                    Repr::Model { exec, loc } => self.rmw(exec, *loc, ord, ord, move |old| {
+                        Some(Bits::to_bits(
+                            <$ty as Bits>::from_bits(old).wrapping_add(value),
+                        ))
+                    }),
+                }
+            }
+
+            #[track_caller]
+            pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                match &self.repr {
+                    Repr::Std(a) => a.fetch_sub(value, ord),
+                    Repr::Model { exec, loc } => self.rmw(exec, *loc, ord, ord, move |old| {
+                        Some(Bits::to_bits(
+                            <$ty as Bits>::from_bits(old).wrapping_sub(value),
+                        ))
+                    }),
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+model_atomic!(AtomicIsize, isize, std::sync::atomic::AtomicIsize);
+model_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+model_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+model_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+
+model_atomic_arith!(AtomicUsize, usize);
+model_atomic_arith!(AtomicIsize, isize);
+model_atomic_arith!(AtomicU64, u64);
+model_atomic_arith!(AtomicU32, u32);
+
+impl AtomicBool {
+    #[track_caller]
+    pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+        match &self.repr {
+            Repr::Std(a) => a.fetch_or(value, ord),
+            Repr::Model { exec, loc } => self.rmw(exec, *loc, ord, ord, move |old| {
+                Some(Bits::to_bits(bool::from_bits(old) | value))
+            }),
+        }
+    }
+}
+
+/// Pointer-valued atomic; the model stores the address bits like any other
+/// location.
+pub struct AtomicPtr<T> {
+    repr: Repr<std::sync::atomic::AtomicPtr<T>>,
+    _marker: std::marker::PhantomData<*mut T>,
+}
+
+// SAFETY: like `std::sync::atomic::AtomicPtr` — the cell itself is
+// thread-safe regardless of `T`; dereferencing the pointer is the caller's
+// obligation.
+unsafe impl<T> Send for AtomicPtr<T> {}
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(ptr: *mut T) -> Self {
+        let repr = match exec::current() {
+            Some((exec, _tid)) => {
+                let loc = exec.register_atomic(ptr as usize as u64);
+                Repr::Model { exec, loc }
+            }
+            None => Repr::Std(std::sync::atomic::AtomicPtr::new(ptr)),
+        };
+        AtomicPtr {
+            repr,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match &self.repr {
+            Repr::Std(a) => a.load(ord),
+            Repr::Model { exec, loc } => {
+                let bits = match model_tid(exec) {
+                    Some(tid) => exec.atomic_load(tid, *loc, ord, Location::caller()),
+                    None => exec.direct_load(*loc),
+                };
+                bits as usize as *mut T
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn store(&self, ptr: *mut T, ord: Ordering) {
+        match &self.repr {
+            Repr::Std(a) => a.store(ptr, ord),
+            Repr::Model { exec, loc } => match model_tid(exec) {
+                Some(tid) => {
+                    exec.atomic_store(tid, *loc, ptr as usize as u64, ord, Location::caller())
+                }
+                None => exec.direct_store(*loc, ptr as usize as u64),
+            },
+        }
+    }
+
+    #[track_caller]
+    pub fn swap(&self, ptr: *mut T, ord: Ordering) -> *mut T {
+        match &self.repr {
+            Repr::Std(a) => a.swap(ptr, ord),
+            Repr::Model { exec, loc } => {
+                let bits = ptr as usize as u64;
+                let old = match model_tid(exec) {
+                    Some(tid) => exec.atomic_rmw(
+                        tid,
+                        *loc,
+                        ord,
+                        ord,
+                        move |_| Some(bits),
+                        Location::caller(),
+                    ),
+                    None => {
+                        let old = exec.direct_load(*loc);
+                        exec.direct_store(*loc, bits);
+                        old
+                    }
+                };
+                old as usize as *mut T
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicPtr").finish_non_exhaustive()
+    }
+}
+
+/// Model-aware `std::sync::atomic::fence`.
+#[track_caller]
+pub fn fence(ord: Ordering) {
+    match exec::current() {
+        Some((exec, tid)) => exec.fence(tid, ord, Location::caller()),
+        None => std::sync::atomic::fence(ord),
+    }
+}

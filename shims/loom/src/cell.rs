@@ -1,0 +1,80 @@
+//! Race-checked `UnsafeCell`.
+//!
+//! Unlike `std::cell::UnsafeCell`, access goes through [`UnsafeCell::with`]
+//! (shared) and [`UnsafeCell::with_mut`] (exclusive) so the model can stamp
+//! each access with the thread's vector clock and flag any pair of accesses
+//! — at least one a write — not ordered by happens-before, reporting both
+//! source locations.  Outside a model the wrappers compile down to the bare
+//! pointer access.
+
+use std::panic::Location;
+use std::sync::Arc;
+
+use crate::exec::{self, Execution};
+
+pub struct UnsafeCell<T> {
+    /// Present when constructed inside a model: the execution and the cell's
+    /// index in its race-detector state.
+    model: Option<(Arc<Execution>, usize)>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: this type exists precisely to be shared between threads by code
+// whose synchronization protocol the model checker validates; every access
+// goes through with/with_mut, where the race detector flags any pair of
+// accesses not ordered by happens-before.  Callers take on the same proof
+// obligation they would with a hand-rolled `unsafe impl Sync` wrapper over
+// `std::cell::UnsafeCell` — but here the obligation is machine-checked
+// under the model.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(data: T) -> Self {
+        let model = exec::current().map(|(exec, _tid)| {
+            let cell = exec.register_cell();
+            (exec, cell)
+        });
+        UnsafeCell {
+            model,
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Shared access.  The caller promises the closure only reads.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((exec, cell)) = &self.model {
+            if let Some(tid) = model_tid(exec) {
+                exec.cell_read(tid, *cell, Location::caller());
+            }
+        }
+        f(self.data.get() as *const T)
+    }
+
+    /// Exclusive access.  Conflicts with every concurrent access.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((exec, cell)) = &self.model {
+            if let Some(tid) = model_tid(exec) {
+                exec.cell_write(tid, *cell, Location::caller());
+            }
+        }
+        f(self.data.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        UnsafeCell::new(T::default())
+    }
+}
+
+fn model_tid(exec: &Arc<Execution>) -> Option<usize> {
+    let (current, tid) = exec::current()?;
+    Arc::ptr_eq(&current, exec).then_some(tid)
+}

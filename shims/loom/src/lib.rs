@@ -1,0 +1,207 @@
+//! Offline loom-style concurrency model checker.
+//!
+//! [`model`] runs a closure under a deterministic cooperative scheduler and
+//! re-runs it until every reachable thread interleaving (under the
+//! configured preemption bound) has been explored.  Each nondeterministic
+//! decision — which thread runs next, which store in the modification order
+//! a relaxed load observes, which condvar waiter a notify wakes — is
+//! recorded on a decision path; the driver DFS-advances that path between
+//! iterations and replays the prefix, exactly like loom's permutation
+//! search.
+//!
+//! On top of the scheduler sit:
+//!
+//! - a memory-ordering model (per-location store histories plus vector
+//!   clocks) that makes stale reads permitted by `Relaxed`/`Acquire`
+//!   orderings actually observable, so ordering bugs fail, not just races;
+//! - a happens-before race detector on [`cell::UnsafeCell`] accesses that
+//!   reports the two conflicting source locations;
+//! - deadlock and livelock detection (a lost wakeup parks forever in the
+//!   model — `wait_timeout` deliberately never times out — and surfaces as
+//!   a reported deadlock rather than a masked stall).
+//!
+//! The API mirrors the subset of loom the workspace shims need
+//! (`loom::thread`, `loom::sync::{Mutex, Condvar, atomic}`,
+//! `loom::cell::UnsafeCell`, `loom::model`); every type degrades to the
+//! plain `std` primitive when constructed outside a model closure, so
+//! instrumented code paths also run unchanged in ordinary tests.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let other = Arc::clone(&counter);
+//!     let handle = loom::thread::spawn(move || {
+//!         other.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     handle.join().unwrap();
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.iterations >= 2);
+//! ```
+
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+mod atomic;
+mod exec;
+mod vclock;
+
+pub mod hint {
+    /// Modeled like [`crate::thread::yield_now`]: a spinning thread is
+    /// deprioritized so exploration terminates.
+    #[track_caller]
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}
+
+use std::sync::Arc;
+
+/// Summary of one completed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub iterations: u64,
+    /// Longest decision path encountered (scheduling + visibility choices).
+    pub max_depth: usize,
+    /// True when the iteration cap stopped the search before exhaustion.
+    pub truncated: bool,
+}
+
+/// Exploration configuration, loom-style.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum involuntary context switches per interleaving; `None`
+    /// explores every schedule.  Small bounds (2–3) reach almost all real
+    /// bugs (iterative context bounding) at a fraction of the cost.
+    pub preemption_bound: Option<u32>,
+    /// Hard cap on explored interleavings; exceeding it sets
+    /// [`Report::truncated`] instead of running forever.  Overridable with
+    /// `DYNMO_LOOM_MAX_ITER`.
+    pub max_iterations: u64,
+    /// Per-interleaving visible-operation cap (livelock backstop).
+    pub max_ops: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let max_iterations = std::env::var("DYNMO_LOOM_MAX_ITER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        Builder {
+            preemption_bound: None,
+            max_iterations,
+            max_ops: 100_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Explore `body` until exhaustion (or the iteration cap), panicking on
+    /// the first interleaving that exhibits an error — assertion failure,
+    /// data race, deadlock, or livelock — with the failing decision path's
+    /// diagnostics.
+    pub fn check<F>(&self, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut iterations = 0u64;
+        let mut max_depth = 0usize;
+        loop {
+            let execution = exec::Execution::new(prefix, self.preemption_bound, self.max_ops);
+            execution.start_root(Arc::clone(&body));
+            let (path, _preemptions, error) = execution.wait_done();
+            iterations += 1;
+            max_depth = max_depth.max(path.len());
+            if let Some(error) = error {
+                panic!(
+                    "loom model failure after {iterations} interleaving(s) \
+                     (decision depth {}): {error}",
+                    path.len()
+                );
+            }
+            // DFS advance: drop exhausted trailing decisions, bump the
+            // deepest one with alternatives left.
+            let mut next = path;
+            loop {
+                match next.last_mut() {
+                    None => {
+                        return Report {
+                            iterations,
+                            max_depth,
+                            truncated: false,
+                        };
+                    }
+                    Some(choice) if choice.chosen + 1 < choice.options => {
+                        choice.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        next.pop();
+                    }
+                }
+            }
+            if iterations >= self.max_iterations {
+                return Report {
+                    iterations,
+                    max_depth,
+                    truncated: true,
+                };
+            }
+            prefix = next.into_iter().map(|choice| choice.chosen).collect();
+        }
+    }
+}
+
+/// Explore `body` with the default [`Builder`].
+pub fn model<F>(body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(body)
+}
+
+/// One global hook: a panic on a model thread aborts its execution (so the
+/// report names the interleaving) instead of printing; every other panic
+/// falls through to the previous hook.
+fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<exec::AbortUnwind>().is_some() {
+                // Controlled teardown unwind, never an error.
+                return;
+            }
+            if let Some((execution, tid)) = exec::current() {
+                let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                let site = info
+                    .location()
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                execution.handle_user_panic(tid, format!("panicked at {site}: {message}"));
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

@@ -1,0 +1,403 @@
+//! Model-aware `Mutex` and `Condvar` mirroring the `std::sync` API surface
+//! the shims use, plus local mirrors of std's lock error types (std's have
+//! no public constructors, so instrumented code needs ours in both modes).
+//!
+//! Like the atomics, each primitive binds to the model execution at
+//! construction time and degrades to the real std primitive outside a model.
+
+use std::panic::Location;
+use std::sync::Arc as StdArc;
+
+pub use std::sync::Arc;
+
+use crate::exec::{self, Execution};
+
+pub mod atomic {
+    pub use crate::atomic::*;
+}
+
+// ---------------------------------------------------------------------------
+// std error mirrors
+// ---------------------------------------------------------------------------
+
+/// Mirror of `std::sync::PoisonError`.  Model locks never poison; the std
+/// fallback maps real poisoning into this type.
+pub struct PoisonError<T> {
+    guard: T,
+}
+
+impl<T> PoisonError<T> {
+    pub fn new(guard: T) -> Self {
+        PoisonError { guard }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.guard
+    }
+}
+
+impl<T> std::fmt::Debug for PoisonError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+impl<T> std::fmt::Display for PoisonError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("poisoned lock: another task failed inside")
+    }
+}
+
+/// Mirror of `std::sync::TryLockError`.
+pub enum TryLockError<T> {
+    Poisoned(PoisonError<T>),
+    WouldBlock,
+}
+
+impl<T> std::fmt::Debug for TryLockError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryLockError::Poisoned(_) => f.write_str("Poisoned(..)"),
+            TryLockError::WouldBlock => f.write_str("WouldBlock"),
+        }
+    }
+}
+
+pub type LockResult<T> = Result<T, PoisonError<T>>;
+pub type TryLockResult<T> = Result<T, TryLockError<T>>;
+
+/// Mirror of `std::sync::WaitTimeoutResult`.  The model has no clock, so
+/// modeled waits never report a timeout — a wakeup that never arrives is a
+/// deadlock the checker flags instead of a stall a timeout would mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+enum MutexRepr<T> {
+    Std(std::sync::Mutex<T>),
+    Model {
+        exec: StdArc<Execution>,
+        mid: usize,
+        /// Protected by the model's lock-state machine: only the token
+        /// holder that observed `held_by == Some(me)` touches it.
+        data: std::cell::UnsafeCell<T>,
+    },
+}
+
+pub struct Mutex<T> {
+    repr: MutexRepr<T>,
+}
+
+// SAFETY: mirrors std — the lock protocol makes the inner data safe to
+// share.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+fn model_tid(exec: &StdArc<Execution>) -> Option<usize> {
+    let (current, tid) = exec::current()?;
+    StdArc::ptr_eq(&current, exec).then_some(tid)
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        let repr = match exec::current() {
+            Some((exec, _tid)) => {
+                let mid = exec.register_mutex();
+                MutexRepr::Model {
+                    exec,
+                    mid,
+                    data: std::cell::UnsafeCell::new(data),
+                }
+            }
+            None => MutexRepr::Std(std::sync::Mutex::new(data)),
+        };
+        Mutex { repr }
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match &self.repr {
+            MutexRepr::Std(m) => match m.lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    repr: GuardRepr::Std(guard),
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    repr: GuardRepr::Std(poison.into_inner()),
+                })),
+            },
+            MutexRepr::Model { exec, mid, .. } => {
+                if let Some(tid) = model_tid(exec) {
+                    exec.mutex_lock(tid, *mid, Location::caller());
+                }
+                Ok(MutexGuard {
+                    repr: GuardRepr::Model { mutex: self },
+                })
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match &self.repr {
+            MutexRepr::Std(m) => match m.try_lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    repr: GuardRepr::Std(guard),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(std::sync::TryLockError::Poisoned(poison)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        repr: GuardRepr::Std(poison.into_inner()),
+                    })))
+                }
+            },
+            MutexRepr::Model { exec, mid, .. } => {
+                let acquired = match model_tid(exec) {
+                    Some(tid) => exec.mutex_try_lock(tid, *mid, Location::caller()),
+                    None => true,
+                };
+                if acquired {
+                    Ok(MutexGuard {
+                        repr: GuardRepr::Model { mutex: self },
+                    })
+                } else {
+                    Err(TryLockError::WouldBlock)
+                }
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.repr {
+            MutexRepr::Std(m) => match m.into_inner() {
+                Ok(data) => Ok(data),
+                Err(poison) => Err(PoisonError::new(poison.into_inner())),
+            },
+            MutexRepr::Model { data, .. } => Ok(data.into_inner()),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+enum GuardRepr<'a, T> {
+    Std(std::sync::MutexGuard<'a, T>),
+    Model { mutex: &'a Mutex<T> },
+}
+
+pub struct MutexGuard<'a, T> {
+    repr: GuardRepr<'a, T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn model_parts(&self) -> Option<(&'a StdArc<Execution>, usize, &'a std::cell::UnsafeCell<T>)> {
+        match &self.repr {
+            GuardRepr::Std(_) => None,
+            GuardRepr::Model { mutex } => match &mutex.repr {
+                MutexRepr::Model { exec, mid, data } => Some((exec, *mid, data)),
+                MutexRepr::Std(_) => unreachable!("model guard over std mutex"),
+            },
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.repr {
+            GuardRepr::Std(guard) => guard,
+            GuardRepr::Model { .. } => {
+                let (_, _, data) = self.model_parts().unwrap();
+                // SAFETY: the model lock-state machine grants this guard
+                // exclusive ownership of `data` until drop; only the
+                // scheduler token holder can be here.
+                unsafe { &*data.get() }
+            }
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        if let Some((_, _, data)) = self.model_parts() {
+            // SAFETY: as in `deref` — the guard holds the model lock.
+            return unsafe { &mut *data.get() };
+        }
+        match &mut self.repr {
+            GuardRepr::Std(guard) => guard,
+            GuardRepr::Model { .. } => unreachable!(),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if let Some((exec, mid, _)) = self.model_parts() {
+            if let Some(tid) = model_tid(exec) {
+                exec.mutex_unlock(tid, mid, Location::caller());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+enum CondvarRepr {
+    Std(std::sync::Condvar),
+    Model { exec: StdArc<Execution>, cid: usize },
+}
+
+pub struct Condvar {
+    repr: CondvarRepr,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let repr = match exec::current() {
+            Some((exec, _tid)) => {
+                let cid = exec.register_condvar();
+                CondvarRepr::Model { exec, cid }
+            }
+            None => CondvarRepr::Std(std::sync::Condvar::new()),
+        };
+        Condvar { repr }
+    }
+
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &self.repr {
+            CondvarRepr::Std(cv) => {
+                let GuardRepr::Std(inner) = into_repr(guard) else {
+                    panic!("std condvar waited on with a model mutex guard");
+                };
+                match cv.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        repr: GuardRepr::Std(g),
+                    }),
+                    Err(poison) => Err(PoisonError::new(MutexGuard {
+                        repr: GuardRepr::Std(poison.into_inner()),
+                    })),
+                }
+            }
+            CondvarRepr::Model { exec, cid } => {
+                let GuardRepr::Model { mutex } = into_repr(guard) else {
+                    panic!("model condvar waited on with a std mutex guard");
+                };
+                let MutexRepr::Model { mid, .. } = &mutex.repr else {
+                    unreachable!("model guard over std mutex");
+                };
+                if let Some(tid) = model_tid(exec) {
+                    exec.condvar_wait(tid, *cid, *mid, Location::caller());
+                }
+                Ok(MutexGuard {
+                    repr: GuardRepr::Model { mutex },
+                })
+            }
+        }
+    }
+
+    /// In a model, the duration is ignored and the wait never times out; see
+    /// [`WaitTimeoutResult`].
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match &self.repr {
+            CondvarRepr::Std(cv) => {
+                let GuardRepr::Std(inner) = into_repr(guard) else {
+                    panic!("std condvar waited on with a model mutex guard");
+                };
+                match cv.wait_timeout(inner, dur) {
+                    Ok((g, timeout)) => Ok((
+                        MutexGuard {
+                            repr: GuardRepr::Std(g),
+                        },
+                        WaitTimeoutResult(timeout.timed_out()),
+                    )),
+                    Err(poison) => {
+                        let (g, timeout) = poison.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                repr: GuardRepr::Std(g),
+                            },
+                            WaitTimeoutResult(timeout.timed_out()),
+                        )))
+                    }
+                }
+            }
+            CondvarRepr::Model { .. } => {
+                let guard = self.wait(guard).unwrap_or_else(|e| e.into_inner());
+                Ok((guard, WaitTimeoutResult(false)))
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn notify_one(&self) {
+        match &self.repr {
+            CondvarRepr::Std(cv) => cv.notify_one(),
+            CondvarRepr::Model { exec, cid } => {
+                if let Some(tid) = model_tid(exec) {
+                    exec.condvar_notify_one(tid, *cid, Location::caller());
+                }
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn notify_all(&self) {
+        match &self.repr {
+            CondvarRepr::Std(cv) => cv.notify_all(),
+            CondvarRepr::Model { exec, cid } => {
+                if let Some(tid) = model_tid(exec) {
+                    exec.condvar_notify_all(tid, *cid, Location::caller());
+                }
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Dismantle a guard without running its `Drop` (the wait path releases the
+/// model mutex itself).
+fn into_repr<T>(guard: MutexGuard<'_, T>) -> GuardRepr<'_, T> {
+    let guard = std::mem::ManuallyDrop::new(guard);
+    // SAFETY: `guard` is ManuallyDrop, so its Drop (model unlock) will not
+    // run; ownership of the repr moves to the caller exactly once.
+    unsafe { std::ptr::read(&guard.repr) }
+}

@@ -1,0 +1,79 @@
+//! Vector clocks: one logical counter per model thread, used both for
+//! happens-before race detection on [`crate::cell::UnsafeCell`] accesses and
+//! for modeling release/acquire visibility on atomics.
+
+/// A vector clock over model-thread ids.  Missing entries are zero, so
+/// clocks grow lazily as threads spawn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// This clock's view of thread `tid`.
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advance thread `tid`'s own component by one event.
+    pub(crate) fn bump(&mut self, tid: usize) {
+        self.ensure(tid);
+        self.slots[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is `<=` the matching component of
+    /// `other` (i.e. the event this clock stamps happens-before `other`'s
+    /// view).
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        assert!(!a.leq(&b));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn missing_entries_read_zero() {
+        let clock = VClock::new();
+        assert_eq!(clock.get(7), 0);
+        assert!(clock.leq(&VClock::new()));
+    }
+}

@@ -56,7 +56,7 @@ pub trait ParallelIterator: Send + Sync + Sized {
         F: Fn(Self::Item) + Send + Sync,
     {
         let len = self.len();
-        // Safety: parallel_for_index visits each index in 0..len once.
+        // SAFETY: parallel_for_index visits each index in 0..len once.
         parallel_for_index(len, &|i| op(unsafe { self.produce(i) }));
     }
 
@@ -89,7 +89,7 @@ pub trait FromParallelIterator<T: Send> {
 /// aliasing is disjoint by construction.
 struct SyncSlots<T>(UnsafeCell<Vec<Option<T>>>);
 
-// Safety: disjoint index writes only (see above).
+// SAFETY: disjoint index writes only (see above).
 unsafe impl<T: Send> Sync for SyncSlots<T> {}
 
 impl<T> SyncSlots<T> {
@@ -112,7 +112,7 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
         let slots = SyncSlots(slots.into());
         let slots_ref = &slots;
         parallel_for_index(len, &move |i| {
-            // Safety: each index is produced and written exactly once, and
+            // SAFETY: each index is produced and written exactly once, and
             // distinct indices touch distinct slots.
             unsafe {
                 let item = iter.produce(i);
@@ -215,7 +215,7 @@ pub struct ParChunksMut<'a, T: Send> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
-// Safety: chunks at distinct indices are disjoint, and each index is
+// SAFETY: chunks at distinct indices are disjoint, and each index is
 // produced at most once, so no two live `&mut` chunks alias.
 unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
 unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
@@ -240,7 +240,7 @@ pub struct VecParIter<T: Send> {
     vec: ManuallyDrop<Vec<T>>,
 }
 
-// Safety: `produce` reads each slot at most once (iterator contract), so
+// SAFETY: `produce` reads each slot at most once (iterator contract), so
 // shared access across workers never aliases a move.
 unsafe impl<T: Send> Sync for VecParIter<T> {}
 
@@ -262,6 +262,8 @@ impl<T: Send> Drop for VecParIter<T> {
         // (If a consumer panicked mid-drive, unproduced elements leak —
         // the price of not tracking per-slot state; allocation is still
         // freed.)
+        // SAFETY: setting the length to zero before the Vec drops makes the
+        // drop free the allocation without touching the moved-out elements.
         unsafe {
             let mut vec = ManuallyDrop::take(&mut self.vec);
             vec.set_len(0);

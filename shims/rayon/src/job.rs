@@ -5,12 +5,18 @@
 //! which keeps the frame alive until the job's latch is set; heap jobs
 //! ([`HeapJob`]) carry scope-spawned closures whose completion the scope
 //! counts before returning.
+//!
+//! The `func`/`result` slots use the cfg-switched [`crate::primitives`]
+//! `UnsafeCell`, so under `RUSTFLAGS="--cfg dynmo_loom"` every access is
+//! stamped into the model's happens-before race detector: an executor
+//! writing `result` without the latch's Release/Acquire edge to the reader
+//! is reported as a race with both source locations.
 
 use std::any::Any;
-use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 
 use crate::latch::Latch;
+use crate::primitives::UnsafeCell;
 
 /// A type-erased, sendable pointer to a job.  The creator guarantees the
 /// pointee outlives execution (via latch or scope counter).
@@ -19,7 +25,7 @@ pub(crate) struct JobRef {
     execute_fn: unsafe fn(*const ()),
 }
 
-// Safety: jobs are executed exactly once, and their pointees are kept alive
+// SAFETY: jobs are executed exactly once, and their pointees are kept alive
 // by the protocol described on the job types.
 unsafe impl Send for JobRef {}
 
@@ -119,14 +125,21 @@ where
 {
     unsafe fn execute(this: *const Self) {
         let this = &*this;
-        let func = (*this.func.get()).take().expect("stack job executed twice");
+        // SAFETY: the executor is the only thread touching `func` — the
+        // owner wrote it before publishing the JobRef and only reads
+        // `result` after the latch is set.
+        let func = unsafe { this.func.with_mut(|slot| (*slot).take()) };
+        let func = func.expect("stack job executed twice");
         // A panicking task must not hang the pool: catch, stash, and let
         // the join point rethrow.
         let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(value) => JobResult::Ok(value),
             Err(payload) => JobResult::Panic(payload),
         };
-        *this.result.get() = result;
+        // SAFETY: exclusive for the same reason as `func`; the owner's
+        // read in `into_result` is ordered after this write by the latch's
+        // Release store / Acquire probe pair set below.
+        unsafe { this.result.with_mut(|slot| *slot = result) };
         // The latch is the last touch: after `set`, the owner may free the
         // frame.
         this.latch.set();
@@ -158,7 +171,10 @@ impl<F: FnOnce() + Send> HeapJob<F> {
 
 impl<F: FnOnce() + Send> Job for HeapJob<F> {
     unsafe fn execute(this: *const Self) {
-        let this = Box::from_raw(this as *mut Self);
+        // SAFETY: `this` came from `Box::into_raw` in `into_job_ref`, and
+        // the exactly-once execution contract makes reclaiming the box here
+        // sound.
+        let this = unsafe { Box::from_raw(this as *mut Self) };
         // Scope spawns wrap `func` in their own catch_unwind; nothing to
         // catch here.
         (this.func)();

@@ -1,29 +1,41 @@
 //! Completion signals between a job and the thread waiting on it.
+//!
+//! Built on the cfg-switched primitives in [`crate::primitives`] so the
+//! latch protocols are model-checked verbatim by `tests/loom_sleep.rs`
+//! under `RUSTFLAGS="--cfg dynmo_loom"`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use crate::primitives::{AtomicBool, Condvar, Mutex, Ordering};
 
 /// Set exactly once when a job finishes.
-pub(crate) trait Latch {
+pub trait Latch {
     /// Signal completion.  The job's result is published before this.
     fn set(&self);
 }
 
 /// A latch polled by a worker that steals work while it waits.
-pub(crate) struct SpinLatch {
+pub struct SpinLatch {
     set: AtomicBool,
 }
 
 impl SpinLatch {
-    pub(crate) fn new() -> Self {
+    /// A fresh, unset latch.
+    pub fn new() -> Self {
         SpinLatch {
             set: AtomicBool::new(false),
         }
     }
 
-    /// Whether the latch has been set.
-    pub(crate) fn probe(&self) -> bool {
+    /// Whether the latch has been set.  Acquire pairs with the Release
+    /// store in [`Latch::set`]: observing `true` makes the job's result
+    /// writes visible to the prober.
+    pub fn probe(&self) -> bool {
         self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SpinLatch {
+    fn default() -> Self {
+        SpinLatch::new()
     }
 }
 
@@ -34,13 +46,14 @@ impl Latch for SpinLatch {
 }
 
 /// A latch an external (non-pool) thread blocks on.
-pub(crate) struct LockLatch {
+pub struct LockLatch {
     state: Mutex<bool>,
     done: Condvar,
 }
 
 impl LockLatch {
-    pub(crate) fn new() -> Self {
+    /// A fresh, unset latch.
+    pub fn new() -> Self {
         LockLatch {
             state: Mutex::new(false),
             done: Condvar::new(),
@@ -48,11 +61,17 @@ impl LockLatch {
     }
 
     /// Block until the latch is set.
-    pub(crate) fn wait(&self) {
+    pub fn wait(&self) {
         let mut set = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while !*set {
             set = self.done.wait(set).unwrap_or_else(|e| e.into_inner());
         }
+    }
+}
+
+impl Default for LockLatch {
+    fn default() -> Self {
+        LockLatch::new()
     }
 }
 

@@ -53,9 +53,22 @@
 
 mod job;
 mod latch;
+mod primitives;
 mod registry;
 
 pub mod iter;
+
+/// Model-checking access to the pool's internal synchronization protocols.
+///
+/// Only compiled under `RUSTFLAGS="--cfg dynmo_loom"`, for the loom suites
+/// in `tests/loom_sleep.rs`: whole-pool model checking would blow up the
+/// interleaving space, so the suites drive the sleep and latch protocols
+/// directly through these re-exports.
+#[cfg(dynmo_loom)]
+pub mod loom_support {
+    pub use crate::latch::{Latch, LockLatch, SpinLatch};
+    pub use crate::registry::Sleep;
+}
 
 pub use iter::prelude;
 pub use registry::{

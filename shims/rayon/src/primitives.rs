@@ -1,0 +1,53 @@
+//! cfg-switched concurrency primitives (see `shims/crossbeam/src/primitives.rs`
+//! for the pattern rationale).
+//!
+//! Normal builds alias straight to `std`; `RUSTFLAGS="--cfg dynmo_loom"`
+//! swaps in the `loom` model-checked twins so the loom suites in
+//! `tests/loom_sleep.rs` explore the real `Sleep`/latch/job implementations.
+//! Worker threads themselves are still spawned with `std::thread` — the
+//! model suite scopes to the sleep and latch protocols (model-checking an
+//! entire pool would blow up the interleaving space), and outside a
+//! `loom::model` closure every loom type degrades to plain std behavior, so
+//! ordinary tests run unchanged under either cfg.
+
+#[cfg(dynmo_loom)]
+pub(crate) use loom::cell::UnsafeCell;
+#[cfg(dynmo_loom)]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(dynmo_loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(dynmo_loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(dynmo_loom))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+/// `std` twin of `loom::cell::UnsafeCell`: same `with`/`with_mut` access
+/// surface (so instrumented code is written once), compiled down to the bare
+/// pointer accesses of `std::cell::UnsafeCell`.
+#[cfg(not(dynmo_loom))]
+pub(crate) struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(dynmo_loom))]
+impl<T> UnsafeCell<T> {
+    pub(crate) fn new(data: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(data))
+    }
+
+    /// Shared access.  The caller promises the closure only reads.
+    // Part of the loom UnsafeCell surface; current callers happen to use
+    // only `with_mut`, but the twin mirrors the full API.
+    #[allow(dead_code)]
+    pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get() as *const T)
+    }
+
+    /// Exclusive access.  The caller promises no concurrent access.
+    pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    pub(crate) fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}

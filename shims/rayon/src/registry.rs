@@ -3,11 +3,12 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::primitives::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 
 use crate::job::{HeapJob, JobRef, JobResult, StackJob};
 use crate::latch::{LockLatch, SpinLatch};
@@ -37,8 +38,12 @@ pub(crate) fn default_num_threads() -> usize {
 /// Sleep coordination: workers with nothing to do park here; every push of
 /// new work bumps the generation and wakes sleepers.  The two-phase
 /// (register-then-recheck) protocol plus a short timeout backstop makes
-/// missed wakeups impossible in the steady state and harmless otherwise.
-struct Sleep {
+/// missed wakeups impossible in the steady state and harmless otherwise —
+/// and the loom suite in `tests/loom_sleep.rs` model-checks exactly that
+/// claim (via [`crate::loom_support`]), where the model's `wait_timeout`
+/// deliberately never times out so a lost wakeup is a reported deadlock,
+/// not a 5ms hiccup.
+pub struct Sleep {
     sleepers: AtomicUsize,
     generation: AtomicU64,
     lock: Mutex<()>,
@@ -46,7 +51,8 @@ struct Sleep {
 }
 
 impl Sleep {
-    fn new() -> Self {
+    /// A fresh sleep/wake coordinator with no sleepers.
+    pub fn new() -> Self {
         Sleep {
             sleepers: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
@@ -55,12 +61,15 @@ impl Sleep {
         }
     }
 
-    fn generation(&self) -> u64 {
+    /// The current wakeup generation; pass the value observed *before* a
+    /// work scan to [`Sleep::sleep`] so work published after the scan
+    /// prevents the park.
+    pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
     }
 
     /// Called after publishing new work.
-    fn notify(&self) {
+    pub fn notify(&self) {
         self.generation.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -70,7 +79,7 @@ impl Sleep {
 
     /// Park unless the generation moved past `seen` since the caller's last
     /// work scan.
-    fn sleep(&self, seen: u64) {
+    pub fn sleep(&self, seen: u64) {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         if self.generation.load(Ordering::SeqCst) == seen {
@@ -82,6 +91,12 @@ impl Sleep {
                 .unwrap_or_else(|e| e.into_inner());
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Default for Sleep {
+    fn default() -> Self {
+        Sleep::new()
     }
 }
 
@@ -172,7 +187,7 @@ impl Registry {
             },
             LockLatch::new(),
         );
-        // Safety: we block on the latch below, so the frame outlives
+        // SAFETY: we block on the latch below, so the frame outlives
         // execution and the ref is handed to exactly one executor.
         unsafe { self.inject(job.as_job_ref()) };
         job.latch.wait();
@@ -204,7 +219,7 @@ impl WorkerThread {
         if ptr.is_null() {
             None
         } else {
-            // Safety: the pointee lives for the whole worker main loop and
+            // SAFETY: the pointee lives for the whole worker main loop and
             // the pointer is only ever dereferenced from that same thread.
             Some(unsafe { &*ptr })
         }
@@ -272,7 +287,7 @@ impl WorkerThread {
         let mut idle_spins = 0u32;
         while !done() {
             if let Some(job) = self.find_work() {
-                // Safety: refs found in queues are live and executed once.
+                // SAFETY: refs found in queues are live and executed once.
                 unsafe { job.execute() };
                 idle_spins = 0;
             } else if idle_spins < 64 {
@@ -296,7 +311,7 @@ fn main_loop(registry: Arc<Registry>, index: usize, deque: Worker<JobRef>) {
     loop {
         let generation = worker.registry.sleep.generation();
         if let Some(job) = worker.find_work() {
-            // Safety: queue refs are live and executed exactly once.  Jobs
+            // SAFETY: queue refs are live and executed exactly once.  Jobs
             // catch their own panics, but a stray unwind must not kill the
             // worker (a dead worker strands its deque), so belt-and-braces.
             let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { job.execute() }));
@@ -325,7 +340,7 @@ where
 {
     Registry::global().in_worker(|worker| {
         let job_b = StackJob::new(oper_b, SpinLatch::new());
-        // Safety: this frame blocks (stealing work) until the latch is
+        // SAFETY: this frame blocks (stealing work) until the latch is
         // set, and pushes the ref to exactly one queue.
         unsafe { worker.push(job_b.as_job_ref()) };
         let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
@@ -385,6 +400,9 @@ where
 /// A raw `Scope` pointer that can ride inside a `Send` closure; validity is
 /// guaranteed by the scope's pending counter.
 struct ScopePtr(*const ());
+// SAFETY: the pointer is only dereferenced inside jobs the scope itself
+// spawned, and `scope` blocks until its pending counter drains — the
+// pointee outlives every access.
 unsafe impl Send for ScopePtr {}
 
 impl ScopePtr {
@@ -406,7 +424,7 @@ impl<'scope> Scope<'scope> {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
         let job = HeapJob::new(move || {
-            // Safety: the scope outlives all spawned jobs (pending counter
+            // SAFETY: the scope outlives all spawned jobs (pending counter
             // drained before `scope` returns).
             let scope = unsafe { &*(scope_ptr.get() as *const Scope<'_>) };
             let result = panic::catch_unwind(AssertUnwindSafe(|| func(scope)));
@@ -417,7 +435,7 @@ impl<'scope> Scope<'scope> {
             // Final touch: after this the scope may be freed.
             scope.pending.fetch_sub(1, Ordering::Release);
         });
-        // Safety: executed exactly once; the scope drains before 'scope
+        // SAFETY: executed exactly once; the scope drains before 'scope
         // data dies.
         let job_ref = unsafe { job.into_job_ref() };
         match WorkerThread::current() {

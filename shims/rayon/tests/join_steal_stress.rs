@@ -1,0 +1,104 @@
+//! Stress tests for nested `join` and the deque steal race, run on both a
+//! single-worker pool (the `DYNMO_THREADS=1` configuration the sweep
+//! binaries use for determinism baselines) and a multi-worker pool.  Under
+//! `--cfg dynmo_loom` the instrumented primitives degrade to std behavior
+//! outside a model, so this file exercises the exact same code CI
+//! model-checks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+}
+
+/// Deeply nested joins (parallel pseudo-fib) on 1 and 4 workers must agree
+/// with the sequential result: work-stealing may reorder execution, never
+/// results.
+#[test]
+fn nested_joins_agree_across_pool_sizes() {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = rayon::join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    for threads in [1, 4] {
+        assert_eq!(pool(threads).install(|| fib(18)), 2584, "pool({threads})");
+    }
+}
+
+/// Unbalanced nested joins: one side fans out hard while the other returns
+/// immediately, so the waiting side must steal to finish — every leaf runs
+/// exactly once on both pool sizes.
+#[test]
+fn unbalanced_join_tree_runs_every_leaf_once() {
+    fn fan_out(counter: &AtomicUsize, depth: usize) {
+        if depth == 0 {
+            counter.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        rayon::join(
+            || fan_out(counter, depth - 1),
+            || {
+                fan_out(counter, depth - 1);
+                // Extra busywork on the b-side so steals happen mid-tree.
+                std::hint::black_box((0..100).sum::<u64>());
+            },
+        );
+    }
+    for threads in [1, 4] {
+        let counter = AtomicUsize::new(0);
+        pool(threads).install(|| fan_out(&counter, 10));
+        assert_eq!(counter.load(Ordering::SeqCst), 1 << 10, "pool({threads})");
+    }
+}
+
+/// Repeated fine-grained fan-outs hammer the pop-vs-steal race on the
+/// workers' deques; every index must execute exactly once, every round, on
+/// both pool sizes.
+#[test]
+fn steal_race_stress_across_pool_sizes() {
+    for threads in [1, 4] {
+        let pool = pool(threads);
+        for round in 0..10 {
+            let n = 8_000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.install(|| {
+                (0..n).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "pool({threads}) round {round}: an index ran zero or multiple times"
+            );
+        }
+    }
+}
+
+/// Collect determinism under contention: the same skewed workload collected
+/// on 1 and 4 workers must produce identical output vectors.
+#[test]
+fn collect_is_identical_across_pool_sizes() {
+    let work: Vec<u64> = (0..512).map(|i| (i * 2654435761) % 1000).collect();
+    let run = |threads: usize| -> Vec<u64> {
+        pool(threads).install(|| {
+            work.par_iter()
+                .map(|&x| {
+                    let mut acc = x;
+                    for k in 0..x % 64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    acc
+                })
+                .collect()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -1,0 +1,345 @@
+//! Exhaustive model checks of the pool's sleep and latch protocols under
+//! the `loom` shim.
+//!
+//! Build with `RUSTFLAGS="--cfg dynmo_loom"`.  These drive the *real*
+//! `Sleep`, `SpinLatch`, and `LockLatch` implementations (re-exported via
+//! `rayon::loom_support`) — whole-pool model checking would blow up the
+//! interleaving space, so the suite isolates the three protocols the pool's
+//! liveness rests on.  In the model, `wait_timeout` never times out: the 5ms
+//! backstop that hides a lost wakeup in production is stripped away, and a
+//! protocol hole becomes a reported deadlock.
+//!
+//! The `mutation_*` tests seed two classic breakages into faithful mirrors
+//! (notify without a generation bump; a Relaxed latch) and require the model
+//! to catch each.
+#![cfg(dynmo_loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+
+use rayon::loom_support::{Latch, LockLatch, Sleep, SpinLatch};
+
+/// Run `body` under the model expecting a failure; returns the panic text.
+fn expect_model_failure(body: impl Fn() + Send + Sync + 'static) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        loom::model(body);
+    }));
+    match result {
+        Ok(_) => panic!("model unexpectedly passed"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                panic!("non-string model failure payload")
+            }
+        }
+    }
+}
+
+/// The worker main-loop skeleton against the real `Sleep`: read the
+/// generation, scan for work, park if nothing moved.  In every interleaving
+/// of scan vs. publish — including publish landing between the scan and the
+/// park — the worker must observe the work.  A lost wakeup parks the worker
+/// forever and is reported as a deadlock.
+#[test]
+fn sleep_generation_protocol_never_loses_a_wakeup() {
+    let report = loom::model(|| {
+        let sleep = Arc::new(Sleep::new());
+        let work = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let sleep = Arc::clone(&sleep);
+            let work = Arc::clone(&work);
+            loom::thread::spawn(move || {
+                // Bounded retries keep the state space finite; the protocol
+                // guarantees progress after one spurious-free park, and a
+                // genuine lost wakeup still exhausts the loop and fails.
+                for _ in 0..3 {
+                    let generation = sleep.generation();
+                    if work.load(Ordering::Acquire) {
+                        return;
+                    }
+                    sleep.sleep(generation);
+                }
+                assert!(
+                    work.load(Ordering::Acquire),
+                    "worker retired without observing published work"
+                );
+            })
+        };
+        work.store(true, Ordering::Release);
+        sleep.notify();
+        worker.join().unwrap();
+    });
+    println!(
+        "sleep generation protocol: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// The `StackJob` handoff shape against the real `SpinLatch`: executor
+/// writes the result cell then sets the latch; owner spins on `probe` and
+/// reads the cell.  The latch's Release/Acquire pair is the only thing
+/// ordering the unsynchronized cell accesses — the race detector verifies
+/// it in every interleaving.
+#[test]
+fn spin_latch_release_acquire_publishes_the_result() {
+    let report = loom::model(|| {
+        let latch = Arc::new(SpinLatch::new());
+        let result = Arc::new(UnsafeCell::new(0u32));
+        let executor = {
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
+            loom::thread::spawn(move || {
+                // SAFETY: the owner reads only after probe() observes the
+                // latch; the model's race detector checks exactly this.
+                result.with_mut(|slot| unsafe { *slot = 42 });
+                latch.set();
+            })
+        };
+        while !latch.probe() {
+            loom::thread::yield_now();
+        }
+        // SAFETY: ordered after the executor's write by Release/Acquire.
+        let value = result.with(|slot| unsafe { *slot });
+        assert_eq!(value, 42);
+        executor.join().unwrap();
+    });
+    println!(
+        "spin latch handoff: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+/// The `in_worker_cold` shape against the real `LockLatch`: an external
+/// thread blocks in `wait` while the pool side runs the job and `set`s.
+/// Whichever side reaches the mutex first, `wait` must return.
+#[test]
+fn lock_latch_wait_always_returns_after_set() {
+    let report = loom::model(|| {
+        let latch = Arc::new(LockLatch::new());
+        let setter = {
+            let latch = Arc::clone(&latch);
+            loom::thread::spawn(move || latch.set())
+        };
+        latch.wait();
+        setter.join().unwrap();
+    });
+    println!(
+        "lock latch wait/set: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated, "state space not exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Mutation teeth-checks against faithful protocol mirrors.
+// ---------------------------------------------------------------------------
+
+mod mirror {
+    //! Skeletons of the sleep and latch protocols with one seeded breakage
+    //! each, plus the faithful versions for baseline comparison.
+
+    use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use loom::sync::{Condvar, Mutex};
+
+    /// Mirror of `registry::Sleep` where `notify` can skip the generation
+    /// bump — the exact hole the two-phase protocol exists to close: a
+    /// notify landing between a sleeper's generation read and its park is
+    /// only survivable because the bump makes the sleeper re-check.
+    pub struct SleepMirror {
+        sleepers: AtomicUsize,
+        generation: AtomicU64,
+        lock: Mutex<()>,
+        wake: Condvar,
+    }
+
+    impl SleepMirror {
+        pub fn new() -> Self {
+            SleepMirror {
+                sleepers: AtomicUsize::new(0),
+                generation: AtomicU64::new(0),
+                lock: Mutex::new(()),
+                wake: Condvar::new(),
+            }
+        }
+
+        pub fn generation(&self) -> u64 {
+            self.generation.load(Ordering::SeqCst)
+        }
+
+        pub fn notify(&self, bump_generation: bool) {
+            if bump_generation {
+                self.generation.fetch_add(1, Ordering::SeqCst);
+            }
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _guard = self.lock.lock().unwrap();
+                self.wake.notify_all();
+            }
+        }
+
+        pub fn sleep(&self, seen: u64) {
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            let guard = self.lock.lock().unwrap();
+            if self.generation.load(Ordering::SeqCst) == seen {
+                // The model's wait never times out: parking here with a
+                // wakeup already spent is a permanent deadlock.
+                drop(self.wake.wait(guard).unwrap());
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Mirror of `SpinLatch` with the store/load orderings as parameters so
+    /// the mutation test can downgrade Release/Acquire to Relaxed.
+    pub struct LatchMirror {
+        set: AtomicBool,
+    }
+
+    impl LatchMirror {
+        pub fn new() -> Self {
+            LatchMirror {
+                set: AtomicBool::new(false),
+            }
+        }
+
+        pub fn set(&self, order: Ordering) {
+            self.set.store(true, order);
+        }
+
+        pub fn probe(&self, order: Ordering) -> bool {
+            self.set.load(order)
+        }
+    }
+}
+
+/// Faithful sleep mirror (notify bumps the generation) passes exhaustively.
+#[test]
+fn mutation_baseline_sleep_with_generation_bump() {
+    let report = loom::model(|| {
+        let sleep = Arc::new(mirror::SleepMirror::new());
+        let work = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let sleep = Arc::clone(&sleep);
+            let work = Arc::clone(&work);
+            loom::thread::spawn(move || {
+                let generation = sleep.generation();
+                if !work.load(Ordering::Acquire) {
+                    sleep.sleep(generation);
+                }
+                // After one park the wakeup's generation bump guarantees
+                // the work is visible.
+                assert!(work.load(Ordering::Acquire), "woke without work");
+            })
+        };
+        work.store(true, Ordering::Release);
+        sleep.notify(true);
+        worker.join().unwrap();
+    });
+    println!(
+        "sleep mirror baseline: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated);
+}
+
+/// Seeded mutation #3 (notify without the generation bump): the notify that
+/// lands between the sleeper's generation read and its park is spent on
+/// nobody, the sleeper parks with no further wakeup coming, and the model
+/// must report the deadlock.
+#[test]
+fn mutation_notify_without_generation_bump_is_caught() {
+    let failure = expect_model_failure(|| {
+        let sleep = Arc::new(mirror::SleepMirror::new());
+        let work = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let sleep = Arc::clone(&sleep);
+            let work = Arc::clone(&work);
+            loom::thread::spawn(move || {
+                let generation = sleep.generation();
+                if !work.load(Ordering::Acquire) {
+                    sleep.sleep(generation);
+                }
+            })
+        };
+        work.store(true, Ordering::Release);
+        sleep.notify(false);
+        worker.join().unwrap();
+    });
+    println!("mutation #3 caught: {failure}");
+    assert!(
+        failure.contains("deadlock"),
+        "expected a reported deadlock, got: {failure}"
+    );
+}
+
+/// Faithful latch mirror (Release set / Acquire probe) passes exhaustively.
+#[test]
+fn mutation_baseline_release_acquire_latch() {
+    let report = loom::model(|| {
+        let latch = Arc::new(mirror::LatchMirror::new());
+        let result = Arc::new(UnsafeCell::new(0u32));
+        let executor = {
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
+            loom::thread::spawn(move || {
+                // SAFETY: ordered before the owner's read by the latch.
+                result.with_mut(|slot| unsafe { *slot = 7 });
+                latch.set(Ordering::Release);
+            })
+        };
+        while !latch.probe(Ordering::Acquire) {
+            loom::thread::yield_now();
+        }
+        // SAFETY: ordered after the executor's write by Release/Acquire.
+        assert_eq!(result.with(|slot| unsafe { *slot }), 7);
+        executor.join().unwrap();
+    });
+    println!(
+        "latch mirror baseline: {} interleavings (depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(!report.truncated);
+}
+
+/// Seeded mutation #4 (latch downgraded to Relaxed): nothing orders the
+/// result write before the owner's read anymore; the vector-clock race
+/// detector must flag the pair and name both access sites.
+#[test]
+fn mutation_relaxed_latch_data_race_is_caught() {
+    let failure = expect_model_failure(|| {
+        let latch = Arc::new(mirror::LatchMirror::new());
+        let result = Arc::new(UnsafeCell::new(0u32));
+        let executor = {
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
+            loom::thread::spawn(move || {
+                // SAFETY: under the mutation this write is deliberately
+                // unordered with the owner's read — the race detector must
+                // catch it.
+                result.with_mut(|slot| unsafe { *slot = 7 });
+                latch.set(Ordering::Relaxed);
+            })
+        };
+        while !latch.probe(Ordering::Relaxed) {
+            loom::thread::yield_now();
+        }
+        // SAFETY: racy by construction (see above).
+        let _ = result.with(|slot| unsafe { *slot });
+        executor.join().unwrap();
+    });
+    println!("mutation #4 caught: {failure}");
+    assert!(
+        failure.contains("data race"),
+        "expected a reported data race, got: {failure}"
+    );
+    // The report must name both conflicting access sites in this file.
+    assert!(
+        failure.matches("loom_sleep.rs").count() >= 2,
+        "race report must cite both access sites: {failure}"
+    );
+}
