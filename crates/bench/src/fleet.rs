@@ -1,0 +1,537 @@
+//! Fleet sweep — the closed-loop fleet controller vs a static GPU split.
+//!
+//! One shared pool of GPUs must host an elastic training job and two
+//! serving tenants whose diurnal traffic peaks are half a day out of
+//! phase.  The sweep compares two ways of carving the pool:
+//!
+//! * **static split** — the classic provisioning answer: the trainer gets
+//!   a fixed mid-size world, each tenant a fixed replica fleet sized for
+//!   its peak-ish load.  GPUs idle in every trough and queues build at
+//!   every crest.
+//! * **closed loop** — [`dynmo_fleet::FleetController`]: the trainer
+//!   starts with almost the whole pool and the controller steals GPUs at
+//!   chunk boundaries (checkpoint-shrink-resume) when a tenant's windowed
+//!   p99 TTFT breaches, returning them in troughs.
+//!
+//! The margin is reported on **both** axes: aggregate SLO attainment
+//! inside each tenant's peak window (closed loop should win because it
+//! surges replicas exactly there), and training throughput loss relative
+//! to an undisturbed run at the closed loop's initial world (closed loop
+//! should lose less because it only gives GPUs up while a peak lasts).
+//! The undisturbed reference run doubles as the trajectory pin: every
+//! closed-loop chunk boundary before the first steal must carry a
+//! bit-identical trajectory checksum.
+//!
+//! Everything runs on simulated clocks, so the sweep is bit-reproducible
+//! across runs and rayon thread counts — CI diffs the margin lines of a
+//! `DYNMO_THREADS=1` run against a host-parallel run byte-for-byte.
+
+use dynmo_dynamics::{DynamismEngine, EarlyExitEngine, EarlyExitMethod};
+use dynmo_fleet::{
+    ElasticTrainer, ElasticTrainerSpec, FleetActionKind, FleetConfig, FleetController, FleetReport,
+    TenantSpec,
+};
+use dynmo_model::{DeviceSpec, Model, ModelPreset};
+use dynmo_resilience::CheckpointCostModel;
+use dynmo_serve::{
+    serve, ArrivalProcess, LengthModel, RequestTrace, ServingConfig, ServingReport, SloTarget,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::scale::ExperimentScale;
+
+/// GPUs in the shared pool.
+pub const FLEET_GPUS: usize = 16;
+/// Pipeline stages (GPUs) per serving replica.
+pub const REPLICA_STAGES: usize = 2;
+/// Trainer world the closed loop starts from (and the undisturbed
+/// reference runs at).
+pub const CLOSED_TRAINER_WORLD: usize = 12;
+/// Fixed trainer world of the static split.
+pub const STATIC_TRAINER_WORLD: usize = 8;
+/// Fixed replicas per tenant in the static split
+/// (`2 tenants × 2 replicas × 2 stages + 8 trainer GPUs = 16`).
+pub const STATIC_REPLICAS: usize = 2;
+
+/// Scenario knobs derived from the experiment scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweepConfig {
+    /// Length of the simulated day (one full diurnal period), seconds.
+    pub day: f64,
+    /// Iterations the training job would run to completion (sized so it
+    /// is still training when the day ends).
+    pub trainer_iterations: u64,
+    /// Mean request rate of the latency-sensitive chat tenant, whose
+    /// diurnal swing troughs at the start of the day and crests mid-day.
+    pub chat_mean_rate: f64,
+    /// Steady request rate of the background batch tenant.
+    pub batch_mean_rate: f64,
+    /// Chat's diurnal swing amplitude.
+    pub amplitude: f64,
+    /// Base seed for traces and the dynamism engine.
+    pub seed: u64,
+}
+
+impl FleetSweepConfig {
+    /// The scenario at a given scale: the day stretches with scale, the
+    /// traffic shape stays the same.
+    pub fn for_scale(scale: ExperimentScale) -> Self {
+        let day = match scale {
+            ExperimentScale::Smoke => 600.0,
+            ExperimentScale::Default => 1200.0,
+            ExperimentScale::Paper => 3600.0,
+        };
+        FleetSweepConfig {
+            day,
+            trainer_iterations: scale.iterations(),
+            chat_mean_rate: 2.0,
+            batch_mean_rate: 1.0,
+            amplitude: 0.8,
+            seed: 17,
+        }
+    }
+}
+
+/// One tenant's outcome inside a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests in the tenant's trace.
+    pub requests: usize,
+    /// Requests arriving inside the tenant's peak window.
+    pub peak_requests: usize,
+    /// SLO attainment over the peak window only.
+    pub peak_attainment: f64,
+    /// SLO attainment over the whole day.
+    pub attainment: f64,
+    /// p99 time-to-first-token over the whole day, seconds.
+    pub p99_ttft: f64,
+}
+
+/// One provisioning policy's outcome over the shared day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCellReport {
+    /// `"closed-loop"` or `"static-split"`.
+    pub label: String,
+    /// Per-tenant outcomes, chat first.
+    pub tenants: Vec<FleetTenantOutcome>,
+    /// Request-weighted SLO attainment across both tenants' peak windows.
+    pub peak_attainment: f64,
+    /// Request-weighted SLO attainment over the whole day.
+    pub attainment: f64,
+    /// Training throughput, tokens per simulated second.
+    pub trainer_tokens_per_second: f64,
+    /// Throughput loss vs the undisturbed reference world, in `[0, 1]`.
+    pub training_loss: f64,
+    /// Iterations the trainer completed during the cell.
+    pub trainer_iterations: u64,
+    /// Time-weighted mean trainer world size.
+    pub trainer_mean_world: f64,
+    /// GPU steals from the trainer (0 for the static split).
+    pub steals: u64,
+    /// GPU returns to the trainer (0 for the static split).
+    pub returns: u64,
+    /// Tenant preemptions (0 for the static split).
+    pub preemptions: u64,
+    /// Checkpoint-shrink-resume cycles the trainer absorbed.
+    pub trainer_rescales: u64,
+    /// Checkpoint-write seconds those cycles charged.
+    pub trainer_rescale_cost: f64,
+}
+
+/// The full sweep: both cells, the reference run, and the margins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweepReport {
+    /// Scale the sweep ran at.
+    pub scale: String,
+    /// Scenario knobs.
+    pub config: FleetSweepConfig,
+    /// Undisturbed training throughput at [`CLOSED_TRAINER_WORLD`]
+    /// (tokens per simulated second) — the loss baseline.
+    pub reference_tokens_per_second: f64,
+    /// The closed-loop fleet cell.
+    pub closed: FleetCellReport,
+    /// The static-split cell.
+    pub static_split: FleetCellReport,
+    /// Peak-window attainment advantage of the closed loop, percentage
+    /// points (positive = closed loop better).
+    pub peak_attainment_margin_pp: f64,
+    /// Training-loss advantage of the closed loop, percentage points
+    /// (positive = closed loop loses less throughput).
+    pub training_loss_margin_pp: f64,
+    /// Closed-loop chunk boundaries compared against the undisturbed
+    /// reference trajectory (those at or before the first steal).
+    pub pinned_boundaries: usize,
+    /// Whether every compared boundary carried a bit-identical trajectory
+    /// checksum.
+    pub trajectory_pinned: bool,
+    /// The closed-loop controller's full decision timeline.
+    pub closed_timeline: Vec<dynmo_fleet::FleetAction>,
+}
+
+impl FleetSweepConfig {
+    fn validate(&self) -> Result<(), String> {
+        if !self.day.is_finite() || self.day <= 0.0 {
+            return Err("day must be positive and finite".into());
+        }
+        if self.trainer_iterations == 0 {
+            return Err("trainer_iterations must be positive".into());
+        }
+        if !self.chat_mean_rate.is_finite()
+            || self.chat_mean_rate <= 0.0
+            || !self.batch_mean_rate.is_finite()
+            || self.batch_mean_rate <= 0.0
+        {
+            return Err("tenant mean rates must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.amplitude) {
+            return Err("amplitude must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+fn trainer_spec(iterations: u64) -> ElasticTrainerSpec {
+    ElasticTrainerSpec {
+        // 60 layers so every world the controller visits (8, 10, 12) has a
+        // strictly smaller max stage (8, 6, 5 layers): each stolen or
+        // returned GPU pair moves training throughput, unlike a 24-layer
+        // job where worlds 8 and 10 share a 3-layer critical stage.
+        preset: ModelPreset::Gpt { layers: 60 },
+        device: DeviceSpec::test_device(16 * 1024 * 1024 * 1024),
+        gpus_per_node: 4,
+        total_iterations: iterations,
+        segment_iterations: 1,
+        num_microbatches: 8,
+        allreduce_overlap: 0.8,
+        min_workers: 2,
+        cost_model: CheckpointCostModel::default(),
+    }
+}
+
+fn trainer_engine(seed: u64) -> Box<dyn DynamismEngine> {
+    let model = Model::from_preset(ModelPreset::Gpt { layers: 60 });
+    Box::new(EarlyExitEngine::new(&model, EarlyExitMethod::Calm, seed))
+}
+
+fn tenant_config(name: &str, replicas: usize, max_replicas: usize, ttft: f64) -> ServingConfig {
+    let mut config = ServingConfig::small(replicas);
+    config.tenant = name.to_string();
+    config.stages = REPLICA_STAGES;
+    config.microbatches = 2;
+    config.max_replicas = max_replicas;
+    config.slo = SloTarget { ttft, tpot: 0.25 };
+    config
+}
+
+/// Both tenants' traces over one shared day.  The raw diurnal process
+/// crests at `day/4`; phase-shifting the chat trace by a quarter day puts
+/// its trough at the day boundary and its crest mid-day, so the fleet
+/// starts quiet, tightens into the crunch, and relaxes again — the cycle
+/// a return-to-trainer policy exists for.  The batch tenant is a steady
+/// background load.
+fn traces(config: &FleetSweepConfig) -> (RequestTrace, RequestTrace) {
+    let chat = RequestTrace::generate(
+        &ArrivalProcess::Diurnal {
+            mean_rate: config.chat_mean_rate,
+            amplitude: config.amplitude,
+            period: config.day,
+        },
+        config.day,
+        &LengthModel::chat_default(),
+        config.seed,
+    )
+    .time_offset(config.day / 4.0, config.day);
+    let batch = RequestTrace::generate(
+        &ArrivalProcess::Poisson {
+            rate: config.batch_mean_rate,
+        },
+        config.day,
+        &LengthModel::chat_default(),
+        config.seed ^ 0x9e37_79b9,
+    );
+    (chat, batch)
+}
+
+/// The fleet's crunch window: where the (phase-shifted) chat rate sits in
+/// the top of its swing (`sin ≥ 1/2`), i.e. the middle third of the day.
+/// Both tenants' peak attainment is measured here — it is exactly when
+/// the closed loop is most tempted to rob one tenant to feed the other.
+fn peak_window(day: f64) -> (f64, f64) {
+    (day / 3.0, 2.0 * day / 3.0)
+}
+
+/// `(met, total)` over the completed requests that arrived in `[lo, hi)`.
+fn window_attainment(report: &ServingReport, lo: f64, hi: f64) -> (usize, usize) {
+    let mut met = 0;
+    let mut total = 0;
+    for record in &report.records {
+        if record.arrival >= lo && record.arrival < hi {
+            total += 1;
+            if report.slo.met_by(record) {
+                met += 1;
+            }
+        }
+    }
+    (met, total)
+}
+
+fn tenant_outcome(report: &ServingReport, day: f64) -> FleetTenantOutcome {
+    let (lo, hi) = peak_window(day);
+    let (met, total) = window_attainment(report, lo, hi);
+    FleetTenantOutcome {
+        tenant: report.tenant.clone(),
+        requests: report.requests,
+        peak_requests: total,
+        peak_attainment: if total == 0 {
+            1.0
+        } else {
+            met as f64 / total as f64
+        },
+        attainment: if report.completed == 0 {
+            1.0
+        } else {
+            report.slo_met as f64 / report.completed as f64
+        },
+        p99_ttft: report.ttft.p99,
+    }
+}
+
+fn aggregate(outcomes: &[FleetTenantOutcome]) -> (f64, f64) {
+    let peak_total: usize = outcomes.iter().map(|o| o.peak_requests).sum();
+    let peak_met: f64 = outcomes
+        .iter()
+        .map(|o| o.peak_attainment * o.peak_requests as f64)
+        .sum();
+    let total: usize = outcomes.iter().map(|o| o.requests).sum();
+    let met: f64 = outcomes
+        .iter()
+        .map(|o| o.attainment * o.requests as f64)
+        .sum();
+    (
+        if peak_total == 0 {
+            1.0
+        } else {
+            peak_met / peak_total as f64
+        },
+        if total == 0 { 1.0 } else { met / total as f64 },
+    )
+}
+
+/// Run a solo (undisturbed) training job at `world` until the simulated
+/// day ends, returning throughput and the chunk-boundary checksum history.
+fn solo_trainer(config: &FleetSweepConfig, world: usize) -> (f64, Vec<(u64, u64)>) {
+    let mut job = ElasticTrainer::new(
+        trainer_spec(config.trainer_iterations),
+        trainer_engine(config.seed),
+        world,
+    )
+    .expect("solo trainer spec is valid");
+    job.advance_to(config.day).expect("solo training runs");
+    (job.tokens_per_second(), job.checksum_history().to_vec())
+}
+
+/// Time-weighted mean trainer world over a closed-loop run.
+fn mean_trainer_world(report: &FleetReport, initial: usize, check_interval: f64) -> f64 {
+    let end = report.ticks as f64 * check_interval;
+    if end <= 0.0 {
+        return initial as f64;
+    }
+    let mut acc = 0.0;
+    let mut prev_t = 0.0;
+    let mut prev_w = initial as f64;
+    for action in &report.timeline {
+        if matches!(
+            action.kind,
+            FleetActionKind::Steal { .. } | FleetActionKind::Return
+        ) {
+            acc += prev_w * (action.time - prev_t);
+            prev_t = action.time;
+            prev_w = action.trainer_workers as f64;
+        }
+    }
+    acc += prev_w * (end - prev_t);
+    acc / end
+}
+
+/// Controller policy used by the closed-loop cell.
+pub fn fleet_policy(config: &FleetSweepConfig) -> FleetConfig {
+    FleetConfig {
+        total_gpus: FLEET_GPUS,
+        check_interval: 5.0,
+        ttft_window: 30.0,
+        breach_ttft_factor: 1.0,
+        gateway_age_limit: 4.0,
+        relax_ttft_factor: 0.35,
+        // One 2-stage replica comfortably serves ~1 request/second; a
+        // shrink that would push the survivors past that is a flap, not a
+        // trough.
+        shrink_max_load: 1.0,
+        action_cooldown: 10.0,
+        // Returns must wait for a genuine trough, not a lull: every return
+        // the controller later regrets costs the trainer a re-steal's
+        // checkpoint write plus a rebalance migration, so the quiet period
+        // scales with the day.
+        return_cooldown: (config.day / 10.0).clamp(30.0, 240.0),
+        provision_delay: 2.0,
+        trainer_min_workers: 8,
+        trainer_max_workers: CLOSED_TRAINER_WORLD,
+        max_ticks: ((config.day / 5.0) as u64).saturating_mul(20).max(1_000),
+    }
+}
+
+/// Run the closed-loop cell: the fleet controller arbitrating the pool.
+pub fn run_closed_cell(
+    config: &FleetSweepConfig,
+    reference_tps: f64,
+) -> (FleetCellReport, FleetReport) {
+    let (chat, batch) = traces(config);
+    let trainer = ElasticTrainer::new(
+        trainer_spec(config.trainer_iterations),
+        trainer_engine(config.seed),
+        CLOSED_TRAINER_WORLD,
+    )
+    .expect("closed-loop trainer spec is valid");
+    let policy = fleet_policy(config);
+    let check_interval = policy.check_interval;
+    let controller = FleetController::new(
+        policy,
+        trainer,
+        CLOSED_TRAINER_WORLD,
+        vec![
+            TenantSpec {
+                config: tenant_config("chat", 1, 4, 2.0),
+                trace: chat,
+                priority: 3,
+                min_replicas: 1,
+            },
+            TenantSpec {
+                config: tenant_config("batch", 1, 3, 6.0),
+                trace: batch,
+                priority: 1,
+                min_replicas: 1,
+            },
+        ],
+    )
+    .expect("closed-loop fleet is well-formed");
+    let report = controller.run().expect("the fleet run upholds invariants");
+
+    let outcomes = vec![
+        tenant_outcome(&report.serving[0], config.day),
+        tenant_outcome(&report.serving[1], config.day),
+    ];
+    let (peak, whole) = aggregate(&outcomes);
+    let tps = report.trainer_tokens_per_second;
+    let cell = FleetCellReport {
+        label: "closed-loop".into(),
+        tenants: outcomes,
+        peak_attainment: peak,
+        attainment: whole,
+        trainer_tokens_per_second: tps,
+        training_loss: 1.0 - tps / reference_tps,
+        trainer_iterations: report.trainer_iterations,
+        trainer_mean_world: mean_trainer_world(&report, CLOSED_TRAINER_WORLD, check_interval),
+        steals: report.steals,
+        returns: report.returns,
+        preemptions: report.preemptions,
+        trainer_rescales: report.trainer_rescales,
+        trainer_rescale_cost: report.trainer_rescale_cost,
+    };
+    (cell, report)
+}
+
+/// Run the static-split cell: fixed trainer world, fixed replica fleets.
+pub fn run_static_cell(config: &FleetSweepConfig, reference_tps: f64) -> FleetCellReport {
+    let (chat_trace, batch_trace) = traces(config);
+    let chat = serve(
+        tenant_config("chat", STATIC_REPLICAS, STATIC_REPLICAS, 2.0),
+        &chat_trace,
+        None,
+    )
+    .expect("static chat deployment serves");
+    let batch = serve(
+        tenant_config("batch", STATIC_REPLICAS, STATIC_REPLICAS, 6.0),
+        &batch_trace,
+        None,
+    )
+    .expect("static batch deployment serves");
+
+    let mut job = ElasticTrainer::new(
+        trainer_spec(config.trainer_iterations),
+        trainer_engine(config.seed),
+        STATIC_TRAINER_WORLD,
+    )
+    .expect("static trainer spec is valid");
+    job.advance_to(config.day).expect("static training runs");
+    let tps = job.tokens_per_second();
+    let outcomes = vec![
+        tenant_outcome(&chat, config.day),
+        tenant_outcome(&batch, config.day),
+    ];
+    let (peak, whole) = aggregate(&outcomes);
+    FleetCellReport {
+        label: "static-split".into(),
+        tenants: outcomes,
+        peak_attainment: peak,
+        attainment: whole,
+        trainer_tokens_per_second: tps,
+        training_loss: 1.0 - tps / reference_tps,
+        trainer_iterations: job.iterations_done(),
+        trainer_mean_world: STATIC_TRAINER_WORLD as f64,
+        steals: 0,
+        returns: 0,
+        preemptions: 0,
+        trainer_rescales: 0,
+        trainer_rescale_cost: 0.0,
+    }
+}
+
+/// Pin the closed-loop trainer trajectory: every chunk boundary at or
+/// before the first steal must carry the same checksum as the undisturbed
+/// reference run.  Returns `(compared, all_matched)`.
+fn pin_trajectory(report: &FleetReport, reference: &[(u64, u64)]) -> (usize, bool) {
+    let first_steal = report
+        .timeline
+        .iter()
+        .find(|a| matches!(a.kind, FleetActionKind::Steal { .. }))
+        .map(|a| a.trainer_iteration)
+        .unwrap_or(u64::MAX);
+    let reference: std::collections::BTreeMap<u64, u64> = reference.iter().copied().collect();
+    let mut compared = 0;
+    for &(iteration, checksum) in &report.trajectory_checksums {
+        if iteration > first_steal {
+            break;
+        }
+        match reference.get(&iteration) {
+            Some(&expected) if expected == checksum => compared += 1,
+            Some(_) => return (compared, false),
+            None => break, // the reference stopped at the day's horizon
+        }
+    }
+    (compared, compared > 0)
+}
+
+/// Run the whole sweep at `scale`.
+pub fn run_fleet_sweep(scale: ExperimentScale) -> FleetSweepReport {
+    let config = FleetSweepConfig::for_scale(scale);
+    config.validate().expect("scale config is valid");
+
+    let (reference_tps, reference_history) = solo_trainer(&config, CLOSED_TRAINER_WORLD);
+    let (closed, closed_raw) = run_closed_cell(&config, reference_tps);
+    let static_split = run_static_cell(&config, reference_tps);
+    let (pinned_boundaries, trajectory_pinned) = pin_trajectory(&closed_raw, &reference_history);
+
+    FleetSweepReport {
+        scale: format!("{scale:?}"),
+        peak_attainment_margin_pp: (closed.peak_attainment - static_split.peak_attainment) * 100.0,
+        training_loss_margin_pp: (static_split.training_loss - closed.training_loss) * 100.0,
+        config,
+        reference_tokens_per_second: reference_tps,
+        closed,
+        static_split,
+        pinned_boundaries,
+        trajectory_pinned,
+        closed_timeline: closed_raw.timeline,
+    }
+}

@@ -17,6 +17,7 @@
 //! | `serving_sweep` | Beyond the paper — continuous-batching inference (trace × early-exit × balancer × elasticity) SLO grid |
 //! | `bench_pool` | Beyond the paper — work-stealing pool wall-clock (sweep bins and the sharded Kahn engine at 1 vs host threads), written to `results/BENCH_pool.json` |
 //! | `hetero_sweep` | Beyond the paper — fig3-style margin comparison on a uniform vs 3-generation (H100/A100/V100) cluster, written to `results/hetero_sweep.json` |
+//! | `fleet_sweep` | Beyond the paper — closed-loop fleet controller (elastic training + multi-tenant serving on one pool) vs a static GPU split, written to `results/BENCH_fleet.json` |
 //!
 //! Each binary accepts `--scale {smoke|default|paper}` to trade fidelity for
 //! run time: `paper` uses the full 10,000-iteration schedules and the
@@ -29,6 +30,7 @@
 
 pub mod cases;
 pub mod composite;
+pub mod fleet;
 pub mod hetero;
 pub mod scale;
 pub mod serving;
@@ -42,6 +44,10 @@ pub use cases::{
 pub use composite::{
     composite_grid, run_composite_cell, run_composite_sweep, standard_stacks, CompositeBalancer,
     CompositeCase, CompositeCell, Mechanism, StackSpec,
+};
+pub use fleet::{
+    fleet_policy, run_closed_cell, run_fleet_sweep, run_static_cell, FleetCellReport,
+    FleetSweepConfig, FleetSweepReport, FleetTenantOutcome,
 };
 pub use hetero::{
     run_hetero_cell, run_hetero_sweep, ClusterFlavor, HeteroConfiguration, HeteroMargin, HeteroRow,

@@ -1,0 +1,73 @@
+//! Acceptance contract of the fleet co-location bench.
+//!
+//! `fleet_sweep` is only worth shipping if the closed loop beats the
+//! static GPU split on *both* axes — higher aggregate serving SLO
+//! attainment inside the diurnal crunch window AND a smaller training
+//! throughput loss over the day — and if the story is reproducible: the
+//! trainer's pre-steal trajectory must be bit-identical to an
+//! undisturbed run, and the whole serialized report must be
+//! byte-identical across rayon thread counts.  These tests pin that
+//! contract at smoke scale (the cell CI gates on).
+
+use dynmo_bench::{run_fleet_sweep, ExperimentScale};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail")
+}
+
+/// Serialize exactly like `dump_json` does, so equality here is equality
+/// of the `results/BENCH_fleet.json` bytes on disk.
+fn artifact<T: serde::Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).expect("fleet report serializes")
+}
+
+#[test]
+fn closed_loop_beats_static_split_on_both_axes_at_smoke_scale() {
+    let report = run_fleet_sweep(ExperimentScale::Smoke);
+
+    assert!(
+        report.peak_attainment_margin_pp > 0.0,
+        "closed loop must win the diurnal peak: closed {:.1}% vs static {:.1}%",
+        report.closed.peak_attainment * 100.0,
+        report.static_split.peak_attainment * 100.0,
+    );
+    assert!(
+        report.training_loss_margin_pp > 0.0,
+        "closed loop must lose less training throughput: closed {:.1}% vs static {:.1}%",
+        report.closed.training_loss * 100.0,
+        report.static_split.training_loss * 100.0,
+    );
+
+    // The margin is only interesting if the controller actually acted:
+    // GPUs left the trainer during the crunch and came back afterwards.
+    assert!(report.closed.steals > 0, "the crest must force a steal");
+    assert!(report.closed.returns > 0, "the trough must return GPUs");
+    assert!(
+        report.closed.trainer_mean_world < 12.0,
+        "steals must pull the mean trainer world below the initial 12"
+    );
+}
+
+#[test]
+fn pre_steal_trajectory_is_pinned_to_the_undisturbed_reference() {
+    let report = run_fleet_sweep(ExperimentScale::Smoke);
+    assert!(
+        report.pinned_boundaries > 0,
+        "the first steal must land after at least one chunk boundary"
+    );
+    assert!(
+        report.trajectory_pinned,
+        "pre-steal chunk checksums must be bit-identical to the undisturbed world-12 run"
+    );
+}
+
+#[test]
+fn fleet_sweep_is_byte_identical_across_thread_counts() {
+    let single = pool(1).install(|| run_fleet_sweep(ExperimentScale::Smoke));
+    let multi = pool(4).install(|| run_fleet_sweep(ExperimentScale::Smoke));
+    assert_eq!(multi, single, "reports differ between 1 and 4 threads");
+    assert_eq!(artifact(&multi), artifact(&single));
+}

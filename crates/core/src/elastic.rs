@@ -23,6 +23,8 @@ pub enum FleetError {
     AlreadyAllocated(usize),
     /// The same worker id appears twice in one request.
     DuplicateWorker(usize),
+    /// Releasing a worker reserved by a different owner.
+    NotOwner(usize),
 }
 
 impl fmt::Display for FleetError {
@@ -43,6 +45,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::DuplicateWorker(w) => {
                 write!(f, "worker {w} appears more than once in the request")
+            }
+            FleetError::NotOwner(w) => {
+                write!(f, "worker {w} is reserved by a different owner")
             }
         }
     }
@@ -77,11 +82,32 @@ pub struct FleetEvent {
     pub allocated_after: usize,
 }
 
+/// A named owner holding reservations in the fleet (a tenant's serving
+/// deployment, or the training job).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct OwnerEntry {
+    name: String,
+    priority: u8,
+}
+
 /// An in-process job manager that tracks which workers belong to the job.
+///
+/// Reservations may be *tagged* with an owner name and a priority (the
+/// multi-tenant fleet controller's arbitration data): an owned worker can
+/// only be released by its owner, so two parties racing a release against
+/// an acquire can never double-count a block — the untagged legacy paths
+/// keep their original semantics for single-job callers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MockJobManager {
     total_workers: usize,
     allocated: Vec<bool>,
+    /// Per-worker owner tag: an index into `owners`, or `None` for workers
+    /// allocated through the untagged legacy paths.
+    owner: Vec<Option<usize>>,
+    owners: Vec<OwnerEntry>,
+    /// Workers allocated at construction — the baseline the delta ledger
+    /// and `average_allocated` reconcile against.
+    initial_allocated: usize,
     events: Vec<FleetEvent>,
     current_iteration: u64,
     rejected_releases: u64,
@@ -95,10 +121,23 @@ impl MockJobManager {
         MockJobManager {
             total_workers,
             allocated: vec![true; total_workers],
+            owner: vec![None; total_workers],
+            owners: Vec::new(),
+            initial_allocated: total_workers,
             events: Vec::new(),
             current_iteration: 0,
             rejected_releases: 0,
             rejected_acquires: 0,
+        }
+    }
+
+    /// Create a manager with every worker initially *free* — the shared
+    /// GPU pool a fleet controller hands out to named owners.
+    pub fn empty(total_workers: usize) -> Self {
+        MockJobManager {
+            allocated: vec![false; total_workers],
+            initial_allocated: 0,
+            ..MockJobManager::new(total_workers)
         }
     }
 
@@ -143,6 +182,20 @@ impl MockJobManager {
     }
 
     fn validate_request(&mut self, workers: &[usize], releasing: bool) -> Result<(), FleetError> {
+        self.validate_request_as(workers, releasing, None)
+    }
+
+    /// Shared validation for the strict paths.  `releaser` is the owner
+    /// name a release is performed as: `None` is the untagged legacy job,
+    /// which may only release untagged workers — so a bulk release racing a
+    /// tenant's tagged acquire can never free (and double-count) the
+    /// tenant's block.
+    fn validate_request_as(
+        &mut self,
+        workers: &[usize],
+        releasing: bool,
+        releaser: Option<&str>,
+    ) -> Result<(), FleetError> {
         let reject = |counter: &mut u64, error: FleetError| {
             *counter += 1;
             Err(error)
@@ -167,14 +220,138 @@ impl MockJobManager {
             if !releasing && self.allocated[w] {
                 return reject(counter, FleetError::AlreadyAllocated(w));
             }
+            if releasing {
+                let held_by = self.owner[w].map(|i| self.owners[i].name.as_str());
+                if held_by != releaser {
+                    return reject(counter, FleetError::NotOwner(w));
+                }
+            }
         }
         Ok(())
     }
 
+    fn owner_index(&mut self, name: &str, priority: u8) -> usize {
+        if let Some(i) = self.owners.iter().position(|o| o.name == name) {
+            self.owners[i].priority = priority;
+            return i;
+        }
+        self.owners.push(OwnerEntry {
+            name: name.to_string(),
+            priority,
+        });
+        self.owners.len() - 1
+    }
+
+    /// Strict owner-tagged by-id acquire: every id must be free, and the
+    /// granted workers are reserved for `owner` at `priority` — only
+    /// `owner` can release them again.
+    pub fn try_acquire_as(
+        &mut self,
+        owner: &str,
+        priority: u8,
+        workers: &[usize],
+    ) -> Result<(), FleetError> {
+        self.validate_request(workers, false)?;
+        let tag = self.owner_index(owner, priority);
+        for &w in workers {
+            self.allocated[w] = true;
+            self.owner[w] = Some(tag);
+        }
+        if !workers.is_empty() {
+            self.events.push(FleetEvent {
+                iteration: self.current_iteration,
+                delta: -(workers.len() as i64),
+                allocated_after: self.allocated(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Lenient owner-tagged acquire: grant up to `count` free workers
+    /// (lowest ids first), reserved for `owner` at `priority`.
+    pub fn acquire_as(&mut self, owner: &str, priority: u8, count: usize) -> Vec<usize> {
+        let tag = self.owner_index(owner, priority);
+        let granted: Vec<usize> = (0..self.total_workers)
+            .filter(|&w| !self.allocated[w])
+            .take(count)
+            .collect();
+        for &w in &granted {
+            self.allocated[w] = true;
+            self.owner[w] = Some(tag);
+        }
+        if !granted.is_empty() {
+            self.events.push(FleetEvent {
+                iteration: self.current_iteration,
+                delta: -(granted.len() as i64),
+                allocated_after: self.allocated(),
+            });
+        }
+        granted
+    }
+
+    /// Strict owner-tagged release: every id must be currently reserved by
+    /// `owner`, or the whole request is rejected ([`FleetError::NotOwner`]
+    /// if another owner holds it) and the fleet is left untouched.
+    pub fn try_release_as(&mut self, owner: &str, workers: &[usize]) -> Result<(), FleetError> {
+        self.validate_request_as(workers, true, Some(owner))?;
+        for &w in workers {
+            self.allocated[w] = false;
+            self.owner[w] = None;
+        }
+        if !workers.is_empty() {
+            self.events.push(FleetEvent {
+                iteration: self.current_iteration,
+                delta: workers.len() as i64,
+                allocated_after: self.allocated(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Workers currently reserved by `owner`.
+    pub fn allocated_to(&self, owner: &str) -> usize {
+        let Some(tag) = self.owners.iter().position(|o| o.name == owner) else {
+            return 0;
+        };
+        self.owner.iter().filter(|&&o| o == Some(tag)).count()
+    }
+
+    /// The owner holding `worker`, if the reservation is tagged.
+    pub fn owner_of(&self, worker: usize) -> Option<&str> {
+        self.owner
+            .get(worker)
+            .copied()
+            .flatten()
+            .map(|i| self.owners[i].name.as_str())
+    }
+
+    /// The priority `owner` registered with its reservations.
+    pub fn priority_of(&self, owner: &str) -> Option<u8> {
+        self.owners
+            .iter()
+            .find(|o| o.name == owner)
+            .map(|o| o.priority)
+    }
+
+    /// Among owners holding workers with priority strictly below `below`,
+    /// the one with the lowest priority (first-registered wins ties) — the
+    /// fleet controller's preemption victim.
+    pub fn preemption_candidate(&self, below: u8) -> Option<&str> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(tag, o)| o.priority < below && self.owner.contains(&Some(*tag)))
+            .min_by_key(|(_, o)| o.priority)
+            .map(|(_, o)| o.name.as_str())
+    }
+
     /// Inform the manager of the current training iteration (for event
-    /// timestamps).
+    /// timestamps).  The clock is monotone: a caller presenting an older
+    /// timestamp (two owners interleaving out of order) cannot rewind it,
+    /// which would corrupt the time-weighted [`Self::average_allocated`]
+    /// accounting with negative spans.
     pub fn set_iteration(&mut self, iteration: u64) {
-        self.current_iteration = iteration;
+        self.current_iteration = self.current_iteration.max(iteration);
     }
 
     /// Workers currently free in the fleet (released by this job and not
@@ -198,7 +375,7 @@ impl MockJobManager {
             return self.allocated() as f64;
         }
         let mut previous_iteration = 0u64;
-        let mut previous_alloc = self.total_workers as f64;
+        let mut previous_alloc = self.initial_allocated as f64;
         let mut weighted = 0.0f64;
         for event in &self.events {
             let span = event.iteration.saturating_sub(previous_iteration) as f64;
@@ -215,12 +392,13 @@ impl JobManager for MockJobManager {
     fn release(&mut self, workers: &[usize]) -> usize {
         let mut released = 0usize;
         for &w in workers {
-            if w < self.total_workers && self.allocated[w] {
+            if w < self.total_workers && self.allocated[w] && self.owner[w].is_none() {
                 self.allocated[w] = false;
                 released += 1;
             } else {
-                // Double release (or unknown id): rejected, not double
-                // counted — and surfaced in the rejection counter.
+                // Double release, unknown id, or a worker reserved by a
+                // named owner: rejected, not double counted — and surfaced
+                // in the rejection counter.
                 self.rejected_releases += 1;
             }
         }
@@ -414,6 +592,144 @@ mod tests {
         // cumulative deltas up to that point.
         let mut running = total as i64;
         for event in manager.events() {
+            running -= event.delta;
+            assert_eq!(event.allocated_after as i64, running);
+        }
+    }
+
+    #[test]
+    fn owner_tags_gate_releases_and_survive_interleaving() {
+        let mut pool = MockJobManager::empty(8);
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.available(), 8);
+        let trainer = pool.acquire_as("trainer", 1, 4);
+        assert_eq!(trainer, vec![0, 1, 2, 3]);
+        pool.try_acquire_as("chat", 3, &[4, 5]).unwrap();
+        assert_eq!(pool.allocated_to("trainer"), 4);
+        assert_eq!(pool.allocated_to("chat"), 2);
+        assert_eq!(pool.owner_of(4), Some("chat"));
+        assert_eq!(pool.priority_of("chat"), Some(3));
+
+        // The trainer cannot release chat's block — no matter which path.
+        assert_eq!(
+            pool.try_release_as("trainer", &[4]).unwrap_err(),
+            FleetError::NotOwner(4)
+        );
+        assert_eq!(pool.release(&[4, 5]), 0, "legacy bulk release refused");
+        assert_eq!(pool.allocated_to("chat"), 2);
+        // The strict legacy release is refused on tagged workers too.
+        assert_eq!(pool.try_release(&[0]).unwrap_err(), FleetError::NotOwner(0));
+
+        // Chat's own release frees the block for the trainer to re-acquire.
+        pool.try_release_as("chat", &[4, 5]).unwrap();
+        pool.try_acquire_as("trainer", 1, &[4, 5]).unwrap();
+        assert_eq!(pool.allocated_to("trainer"), 6);
+        assert_eq!(pool.allocated_to("chat"), 0);
+
+        // Preemption scans tagged holdings by priority.
+        pool.try_release_as("trainer", &[4, 5]).unwrap();
+        let batch = pool.acquire_as("batch", 2, 2);
+        assert_eq!(batch, vec![4, 5]);
+        // The lowest-priority holder below the threshold is the victim.
+        assert_eq!(pool.preemption_candidate(3), Some("trainer"));
+        assert_eq!(pool.preemption_candidate(2), Some("trainer"));
+        assert_eq!(pool.preemption_candidate(1), None);
+        // With the trainer out of the pool, batch (priority 2) is next.
+        pool.try_release_as("trainer", &[0, 1, 2, 3]).unwrap();
+        assert_eq!(pool.preemption_candidate(3), Some("batch"));
+    }
+
+    #[test]
+    fn monotone_clock_survives_out_of_order_owners() {
+        // Two owners stamping the ledger out of order must not rewind the
+        // clock: the second event may not claim an earlier iteration, or
+        // the time-weighted average would count a negative span.
+        let mut pool = MockJobManager::empty(4);
+        pool.set_iteration(100);
+        pool.acquire_as("a", 1, 2);
+        pool.set_iteration(40); // stale clock from a slower owner
+        pool.acquire_as("b", 2, 2);
+        let events = pool.events();
+        assert_eq!(events[0].iteration, 100);
+        assert_eq!(events[1].iteration, 100, "clock must not rewind");
+        // 0 GPUs for 100 iterations, 2 for 0, 4 for 100 → average 2.
+        assert!((pool.average_allocated(200) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_owner_interleaved_ledger_reconciles_every_step() {
+        // The S1 extension of the delta-sum invariant: three owners (a
+        // trainer and two tenants) racing tagged acquires/releases against
+        // the legacy untagged paths, with deliberately out-of-order clocks.
+        // After every step: the event deltas reconcile with the live
+        // allocation, per-owner holdings sum to the tagged allocation, and
+        // no block is ever double-counted.
+        let total = 12usize;
+        let mut pool = MockJobManager::empty(total);
+        let owners = [("trainer", 1u8), ("chat", 3u8), ("batch", 2u8)];
+        let mut rng_state: u64 = 0x5eed_f1ee_7000_0001;
+        let mut rng = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for step in 0..1000u64 {
+            // Out-of-order stamps: each owner runs its own skewed clock.
+            pool.set_iteration(step.saturating_sub(rng() % 5));
+            let (name, priority) = owners[(rng() % 3) as usize];
+            let worker = (rng() % total as u64) as usize;
+            match rng() % 6 {
+                0 => {
+                    pool.acquire_as(name, priority, (rng() % 4) as usize);
+                }
+                1 => {
+                    let _ = pool.try_acquire_as(name, priority, &[worker]);
+                }
+                2 => {
+                    let _ = pool.try_release_as(name, &[worker]);
+                }
+                // The owner releasing everything it holds (drain-all).
+                3 => {
+                    let held: Vec<usize> = (0..total)
+                        .filter(|&w| pool.owner_of(w) == Some(name))
+                        .collect();
+                    if !held.is_empty() {
+                        pool.try_release_as(name, &held).unwrap();
+                    }
+                }
+                // Legacy untagged traffic racing the tagged owners.
+                4 => {
+                    pool.acquire((rng() % 3) as usize);
+                }
+                _ => {
+                    pool.release(&[worker, (worker + 1) % total]);
+                }
+            }
+            let delta_sum: i64 = pool.events().iter().map(|e| e.delta).sum();
+            assert_eq!(
+                pool.allocated() as i64,
+                -delta_sum,
+                "ledger out of sync at step {step} (empty pool starts at 0)"
+            );
+            let tagged: usize = owners.iter().map(|(n, _)| pool.allocated_to(n)).sum();
+            let untagged =
+                (0..total).filter(|&w| pool.owner_of(w).is_none()).count() - pool.available();
+            assert_eq!(
+                tagged + untagged,
+                pool.allocated(),
+                "owner holdings out of sync at step {step}"
+            );
+            assert!(pool.allocated() <= total);
+        }
+        // The event clock never rewinds.
+        for pair in pool.events().windows(2) {
+            assert!(pair[1].iteration >= pair[0].iteration);
+        }
+        // Running `allocated_after` is consistent with the cumulative
+        // deltas from the empty start.
+        let mut running = 0i64;
+        for event in pool.events() {
             running -= event.delta;
             assert_eq!(event.allocated_after as i64, running);
         }

@@ -172,6 +172,140 @@ fn read_metric(state: &TrainerState, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("checkpoint is missing the '{key}' metric"))
 }
 
+/// The restorable payload of a checkpoint — layers, assignment, engine
+/// state — with empty metrics.  The simulated write cost is priced on this
+/// payload alone, so the price never depends on bookkeeping size.
+fn base_state(
+    iteration: u64,
+    world_size: usize,
+    assignment: &StageAssignment,
+    loads: &[LayerLoad],
+    engine: &mut dyn DynamismEngine,
+) -> TrainerState {
+    let layers: Vec<LayerState> = loads
+        .iter()
+        .map(|load| LayerState {
+            layer_id: load.layer_id,
+            weights: vec![load.param_count as f32],
+            optimizer: vec![0.0],
+            pruning_mask: vec![true],
+            frozen: load.bwd_time == 0.0,
+            rng_state: 0,
+        })
+        .collect();
+    TrainerState {
+        iteration,
+        world_size,
+        assignment: assignment.clone(),
+        layers,
+        metrics: std::collections::BTreeMap::new(),
+        engine: Some(engine.export_state()),
+    }
+}
+
+/// The resume accumulators a snapshot carries so a resumed run restores
+/// every report quantity bit-for-bit.
+struct ResumeMetrics<'a> {
+    cached_imbalance: f64,
+    total_time: f64,
+    total_tokens: u64,
+    idleness_sum: f64,
+    bubble_sum: f64,
+    active_worker_iterations: f64,
+    trajectory: u64,
+    overhead: &'a OverheadBreakdown,
+    imbalance_history: &'a ImbalanceHistory,
+}
+
+fn fill_metrics(state: &mut TrainerState, resume: &ResumeMetrics<'_>) {
+    let metrics = &mut state.metrics;
+    metrics.insert(metric_keys::IMBALANCE.into(), resume.cached_imbalance);
+    metrics.insert(metric_keys::TOTAL_TIME.into(), resume.total_time);
+    metrics.insert(metric_keys::TOTAL_TOKENS.into(), resume.total_tokens as f64);
+    metrics.insert(metric_keys::IDLENESS_SUM.into(), resume.idleness_sum);
+    metrics.insert(metric_keys::BUBBLE_SUM.into(), resume.bubble_sum);
+    metrics.insert(
+        metric_keys::ACTIVE_WORKER_ITERATIONS.into(),
+        resume.active_worker_iterations,
+    );
+    let hash = resume.trajectory;
+    metrics.insert(
+        metric_keys::TRAJECTORY_LO.into(),
+        (hash & 0xFFFF_FFFF) as f64,
+    );
+    metrics.insert(metric_keys::TRAJECTORY_HI.into(), (hash >> 32) as f64);
+    metrics.insert(metric_keys::OV_PROFILING.into(), resume.overhead.profiling);
+    metrics.insert(metric_keys::OV_ALGORITHM.into(), resume.overhead.algorithm);
+    metrics.insert(metric_keys::OV_MIGRATION.into(), resume.overhead.migration);
+    metrics.insert(metric_keys::OV_RECOVERY.into(), resume.overhead.recovery);
+    metrics.insert(
+        metric_keys::OV_REBALANCE_EVENTS.into(),
+        resume.overhead.rebalance_events as f64,
+    );
+    metrics.insert(
+        metric_keys::OV_RECOVERY_EVENTS.into(),
+        resume.overhead.recovery_events as f64,
+    );
+    for &(it, value) in resume.imbalance_history.samples() {
+        metrics.insert(format!("{}{it}", metric_keys::IMBALANCE_AT_PREFIX), value);
+    }
+}
+
+/// Transform a checkpointed [`TrainerState`] for an elastic rescale to
+/// `new_world_size` pipeline stages — the fleet controller's
+/// checkpoint-shrink-resume (and grow) hook.  The assignment is re-laid
+/// out uniformly over the new world (the rebalance controller balances it
+/// properly at its next due iteration), and `rescale_cost` simulated
+/// seconds (checkpoint write + communicator rebuild) are charged into the
+/// checkpointed total time and the recovery overhead bucket, so the
+/// resumed run's accumulators include the rescale just as
+/// [`crate::recovery::run_elastic_rescale`] charges its own.  The
+/// trajectory checksum is deliberately untouched: it hashes only
+/// per-iteration simulated quantities, so outside the rescale windows a
+/// shrunken-and-regrown run stays bit-identical to an undisturbed one.
+pub fn rescale_trainer_state(
+    state: &TrainerState,
+    new_world_size: usize,
+    rescale_cost: f64,
+) -> Result<TrainerState, String> {
+    if new_world_size == 0 {
+        return Err("cannot rescale to zero pipeline stages".into());
+    }
+    if !rescale_cost.is_finite() || rescale_cost < 0.0 {
+        return Err(format!(
+            "rescale cost {rescale_cost} must be finite and ≥ 0"
+        ));
+    }
+    if state.engine.is_none() {
+        return Err("checkpoint carries no engine state; cannot rescale".into());
+    }
+    let total_time = read_metric(state, metric_keys::TOTAL_TIME)?;
+    let recovery = read_metric(state, metric_keys::OV_RECOVERY)?;
+    let recovery_events = read_metric(state, metric_keys::OV_RECOVERY_EVENTS)?;
+    let mut out = state.clone();
+    out.world_size = new_world_size;
+    out.assignment = StageAssignment::uniform(state.assignment.num_layers(), new_world_size);
+    out.metrics
+        .insert(metric_keys::TOTAL_TIME.into(), total_time + rescale_cost);
+    out.metrics
+        .insert(metric_keys::OV_RECOVERY.into(), recovery + rescale_cost);
+    out.metrics.insert(
+        metric_keys::OV_RECOVERY_EVENTS.into(),
+        recovery_events + 1.0,
+    );
+    Ok(out)
+}
+
+/// The outcome of [`Trainer::run_segment`]: the cumulative report at the
+/// segment boundary plus the exported [`TrainerState`] the next segment
+/// (possibly on a rescaled world) resumes from.
+pub struct SegmentOutcome {
+    /// Cumulative training report from iteration 0 through the boundary.
+    pub report: TrainingReport,
+    /// Restorable snapshot at the boundary (engine state included).
+    pub state: TrainerState,
+}
+
 /// The end-to-end training loop.
 pub struct Trainer {
     config: TrainerConfig,
@@ -296,8 +430,9 @@ impl Trainer {
 
     /// Run `engine` for the configured number of iterations and report.
     pub fn run(&mut self, engine: &mut dyn DynamismEngine) -> TrainingReport {
-        self.run_from(engine, None)
+        self.run_from(engine, None, None, false)
             .expect("a fresh (non-resumed) run cannot fail to start")
+            .0
     }
 
     /// Run an ordered *stack* of dynamism mechanisms acting on the same
@@ -333,14 +468,38 @@ impl Trainer {
         engine: &mut dyn DynamismEngine,
         state: &TrainerState,
     ) -> Result<TrainingReport, String> {
-        self.run_from(engine, Some(state))
+        Ok(self.run_from(engine, Some(state), None, false)?.0)
+    }
+
+    /// Run a bounded *segment* of the training loop: from `resume` (or
+    /// iteration 0) up to — exclusive of nothing — iteration `until`, then
+    /// stop at the boundary and export the restorable state.  Chaining
+    /// segments with each outcome's `state` as the next call's `resume`
+    /// reproduces an unsegmented run's trajectory checksum bit-for-bit
+    /// (the rebalance controller is stateless in `iteration`, and every
+    /// accumulator round-trips through the snapshot), which is what lets a
+    /// fleet controller interleave training with serving on a shared clock
+    /// and still pin the trainer's trajectory against an undisturbed run.
+    pub fn run_segment(
+        &mut self,
+        engine: &mut dyn DynamismEngine,
+        resume: Option<&TrainerState>,
+        until: u64,
+    ) -> Result<SegmentOutcome, String> {
+        let (report, state) = self.run_from(engine, resume, Some(until), true)?;
+        Ok(SegmentOutcome {
+            report,
+            state: state.expect("segment runs export their final state"),
+        })
     }
 
     fn run_from(
         &mut self,
         engine: &mut dyn DynamismEngine,
         resume: Option<&TrainerState>,
-    ) -> Result<TrainingReport, String> {
+        until: Option<u64>,
+        export_state: bool,
+    ) -> Result<(TrainingReport, Option<TrainerState>), String> {
         let recorder = Arc::clone(&self.recorder);
         let comm = CommCostModel::new(self.config.cluster.clone());
         let simulator = PipelineSimulator::new(comm.clone(), self.config.schedule);
@@ -396,16 +555,24 @@ impl Trainer {
         let mut trajectory = TrajectoryHash::new();
         let mut start_iteration = 0u64;
 
+        let end_iteration = until.unwrap_or(self.config.num_iterations);
+        if end_iteration > self.config.num_iterations {
+            return Err(format!(
+                "segment boundary {} exceeds the configured {} iterations",
+                end_iteration, self.config.num_iterations
+            ));
+        }
+
         if let Some(state) = resume {
             let engine_state = state
                 .engine
                 .as_ref()
                 .ok_or("checkpoint carries no engine state; cannot resume the dynamism stack")?;
             engine.import_state(engine_state)?;
-            if state.iteration > self.config.num_iterations {
+            if state.iteration > end_iteration {
                 return Err(format!(
                     "checkpoint is at iteration {} but the run only has {}",
-                    state.iteration, self.config.num_iterations
+                    state.iteration, end_iteration
                 ));
             }
             // The engine-name check above cannot catch a same-typed engine
@@ -458,7 +625,7 @@ impl Trainer {
             }
         }
 
-        for iteration in start_iteration..self.config.num_iterations {
+        for iteration in start_iteration..end_iteration {
             self.job_manager.set_iteration(iteration);
             let update = engine.step(iteration);
             if update.changed || loads.is_empty() {
@@ -646,25 +813,8 @@ impl Trainer {
             // include this write exactly as the original run's do.
             if let Some(checkpointing) = &mut self.checkpointing {
                 if (iteration + 1).is_multiple_of(checkpointing.interval) {
-                    let layers: Vec<LayerState> = loads
-                        .iter()
-                        .map(|load| LayerState {
-                            layer_id: load.layer_id,
-                            weights: vec![load.param_count as f32],
-                            optimizer: vec![0.0],
-                            pruning_mask: vec![true],
-                            frozen: load.bwd_time == 0.0,
-                            rng_state: 0,
-                        })
-                        .collect();
-                    let mut state = TrainerState {
-                        iteration: iteration + 1,
-                        world_size: active_workers,
-                        assignment: assignment.clone(),
-                        layers,
-                        metrics: std::collections::BTreeMap::new(),
-                        engine: Some(engine.export_state()),
-                    };
+                    let mut state =
+                        base_state(iteration + 1, active_workers, &assignment, &loads, engine);
                     // Cost is priced on the payload (layers + assignment +
                     // engine state); the resume metrics below are a few
                     // dozen scalars and are deliberately excluded so the
@@ -678,37 +828,20 @@ impl Trainer {
                     let charged_total_time = total_time + cost;
                     let mut charged_overhead = overhead;
                     charged_overhead.record_recovery(cost);
-                    let metrics = &mut state.metrics;
-                    metrics.insert(metric_keys::IMBALANCE.into(), cached_imbalance);
-                    metrics.insert(metric_keys::TOTAL_TIME.into(), charged_total_time);
-                    metrics.insert(metric_keys::TOTAL_TOKENS.into(), total_tokens as f64);
-                    metrics.insert(metric_keys::IDLENESS_SUM.into(), idleness_sum);
-                    metrics.insert(metric_keys::BUBBLE_SUM.into(), bubble_sum);
-                    metrics.insert(
-                        metric_keys::ACTIVE_WORKER_ITERATIONS.into(),
-                        active_worker_iterations,
+                    fill_metrics(
+                        &mut state,
+                        &ResumeMetrics {
+                            cached_imbalance,
+                            total_time: charged_total_time,
+                            total_tokens,
+                            idleness_sum,
+                            bubble_sum,
+                            active_worker_iterations,
+                            trajectory: trajectory.value(),
+                            overhead: &charged_overhead,
+                            imbalance_history: &imbalance_history,
+                        },
                     );
-                    let hash = trajectory.value();
-                    metrics.insert(
-                        metric_keys::TRAJECTORY_LO.into(),
-                        (hash & 0xFFFF_FFFF) as f64,
-                    );
-                    metrics.insert(metric_keys::TRAJECTORY_HI.into(), (hash >> 32) as f64);
-                    metrics.insert(metric_keys::OV_PROFILING.into(), charged_overhead.profiling);
-                    metrics.insert(metric_keys::OV_ALGORITHM.into(), charged_overhead.algorithm);
-                    metrics.insert(metric_keys::OV_MIGRATION.into(), charged_overhead.migration);
-                    metrics.insert(metric_keys::OV_RECOVERY.into(), charged_overhead.recovery);
-                    metrics.insert(
-                        metric_keys::OV_REBALANCE_EVENTS.into(),
-                        charged_overhead.rebalance_events as f64,
-                    );
-                    metrics.insert(
-                        metric_keys::OV_RECOVERY_EVENTS.into(),
-                        charged_overhead.recovery_events as f64,
-                    );
-                    for &(it, value) in imbalance_history.samples() {
-                        metrics.insert(format!("{}{it}", metric_keys::IMBALANCE_AT_PREFIX), value);
-                    }
                     match Checkpoint::new(state) {
                         Ok(checkpoint) => {
                             let (saved, io_seconds) =
@@ -750,7 +883,34 @@ impl Trainer {
             }
         }
 
-        let iterations = self.config.num_iterations;
+        // Export the boundary snapshot before the report moves anything:
+        // segment callers resume the next chunk (or a rescaled world) from
+        // exactly this state.
+        let final_state = if export_state {
+            if loads.is_empty() {
+                return Err("cannot export a segment state before any iteration ran".into());
+            }
+            let mut state = base_state(end_iteration, active_workers, &assignment, &loads, engine);
+            fill_metrics(
+                &mut state,
+                &ResumeMetrics {
+                    cached_imbalance,
+                    total_time,
+                    total_tokens,
+                    idleness_sum,
+                    bubble_sum,
+                    active_worker_iterations,
+                    trajectory: trajectory.value(),
+                    overhead: &overhead,
+                    imbalance_history: &imbalance_history,
+                },
+            );
+            Some(state)
+        } else {
+            None
+        };
+
+        let iterations = end_iteration;
         let tokens_per_second = if total_time > 0.0 {
             total_tokens as f64 / total_time
         } else {
@@ -760,7 +920,7 @@ impl Trainer {
         let gpu_seconds =
             average_active_workers * self.config.cluster.data_parallel as f64 * total_time;
         let total_gpus_now = active_workers * self.config.cluster.data_parallel;
-        Ok(TrainingReport {
+        let report = TrainingReport {
             balancer: self.controller.name(),
             dynamism: engine.name(),
             iterations,
@@ -783,7 +943,8 @@ impl Trainer {
                 0.0
             },
             trajectory_checksum: trajectory.value(),
-        })
+        };
+        Ok((report, final_state))
     }
 }
 
@@ -1030,6 +1191,80 @@ mod tests {
         assert!(a.rebalance_events > 0);
         assert_eq!(a.trajectory_checksum, b.trajectory_checksum);
         assert_eq!(a.total_tokens, b.total_tokens);
+    }
+
+    #[test]
+    fn segmented_runs_reproduce_the_unsegmented_trajectory_bit_for_bit() {
+        // Chaining run_segment calls (fresh Trainer per chunk, state
+        // threaded through) must land on exactly the unsegmented run's
+        // accumulators — the property the fleet controller's shared-clock
+        // interleaving rests on.
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut plain = Trainer::new(model.clone(), config(4, 120), dynamic_controller());
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+        let full = plain.run(&mut engine);
+
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+        let mut state: Option<dynmo_resilience::TrainerState> = None;
+        let mut last: Option<TrainingReport> = None;
+        for until in [30u64, 60, 90, 120] {
+            let mut trainer = Trainer::new(model.clone(), config(4, 120), dynamic_controller());
+            let segment = trainer
+                .run_segment(&mut engine, state.as_ref(), until)
+                .unwrap();
+            assert_eq!(segment.state.iteration, until);
+            state = Some(segment.state);
+            last = Some(segment.report);
+        }
+        let segmented = last.unwrap();
+        assert_eq!(segmented.trajectory_checksum, full.trajectory_checksum);
+        assert_eq!(segmented.total_tokens, full.total_tokens);
+        // total_time carries the *measured* balancer wall-clock of each
+        // rebalance event, which no two runs reproduce bit-for-bit; every
+        // simulated accumulator must still agree exactly.
+        assert!(
+            (segmented.total_time - full.total_time).abs() < 1e-3,
+            "segmented {} vs full {}",
+            segmented.total_time,
+            full.total_time
+        );
+        assert_eq!(
+            segmented.average_idleness.to_bits(),
+            full.average_idleness.to_bits()
+        );
+    }
+
+    #[test]
+    fn rescale_hook_reshapes_the_world_and_charges_recovery() {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        let mut engine = EarlyExitEngine::new(&model, EarlyExitMethod::Calm, 7);
+        let mut trainer = Trainer::new(model.clone(), config(8, 80), dynamic_controller());
+        let first = trainer.run_segment(&mut engine, None, 40).unwrap();
+
+        let shrunk = rescale_trainer_state(&first.state, 4, 2.5).unwrap();
+        assert_eq!(shrunk.world_size, 4);
+        assert_eq!(shrunk.assignment.num_stages(), 4);
+        assert_eq!(shrunk.assignment.num_layers(), model.num_layers());
+        let before = first.state.metrics["total_time"];
+        assert!((shrunk.metrics["total_time"] - (before + 2.5)).abs() < 1e-12);
+        assert!(
+            (shrunk.metrics["overhead_recovery"]
+                - (first.state.metrics["overhead_recovery"] + 2.5))
+                .abs()
+                < 1e-12
+        );
+
+        // The shrunken world resumes and finishes on a 4-stage cluster.
+        let mut small = Trainer::new(model.clone(), config(4, 80), dynamic_controller());
+        let second = small.run_segment(&mut engine, Some(&shrunk), 80).unwrap();
+        assert_eq!(second.state.iteration, 80);
+        assert_eq!(second.state.world_size, 4);
+        assert!(second.report.total_tokens > first.report.total_tokens);
+        assert!(second.report.overhead.recovery >= 2.5);
+
+        // Degenerate rescales are rejected.
+        assert!(rescale_trainer_state(&first.state, 0, 1.0).is_err());
+        assert!(rescale_trainer_state(&first.state, 4, f64::NAN).is_err());
     }
 
     #[test]

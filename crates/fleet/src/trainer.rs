@@ -1,0 +1,352 @@
+//! The elastic training job a fleet controller shrinks and grows.
+//!
+//! [`ElasticTrainer`] wraps `dynmo_core`'s segment API
+//! ([`Trainer::run_segment`] + [`rescale_trainer_state`]) into a job that
+//! advances in bounded chunks on a simulated clock and can be re-scaled at
+//! any chunk boundary.  Every re-scale is a checkpoint-shrink-resume cycle:
+//! the controller pays [`CheckpointCostModel::write_cost`] for the state
+//! snapshot, the world is reshaped, and training resumes from the exact
+//! boundary iteration — zero iterations are replayed, so the per-iteration
+//! trajectory outside the re-scale instant is bit-identical to a run that
+//! was never disturbed.
+
+use dynmo_core::{
+    rescale_trainer_state, BalanceObjective, PartitionBalancer, RebalanceController,
+    RebalancePolicy, Trainer, TrainerConfig, TrainingReport,
+};
+use dynmo_dynamics::DynamismEngine;
+use dynmo_model::{ClusterConfig, DeviceSpec, Model, ModelPreset};
+use dynmo_pipeline::ScheduleKind;
+use dynmo_resilience::{CheckpointCostModel, TrainerState};
+
+/// Static description of the elastic training job.
+#[derive(Debug, Clone)]
+pub struct ElasticTrainerSpec {
+    /// Model being trained.
+    pub preset: ModelPreset,
+    /// Accelerator every training worker runs on.
+    pub device: DeviceSpec,
+    /// GPUs per node (link locality of the comm model).
+    pub gpus_per_node: usize,
+    /// Iterations the job runs to completion.
+    pub total_iterations: u64,
+    /// Chunk length in iterations: the trainer only observes the outside
+    /// world (and can only be re-scaled) at multiples of this.
+    pub segment_iterations: u64,
+    /// Micro-batches per pipeline per iteration.
+    pub num_microbatches: usize,
+    /// Fraction of the gradient all-reduce hidden behind backward.
+    pub allreduce_overlap: f64,
+    /// The job refuses to shrink below this many pipeline workers.
+    pub min_workers: usize,
+    /// Prices the checkpoint write charged on every re-scale.
+    pub cost_model: CheckpointCostModel,
+}
+
+impl ElasticTrainerSpec {
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_iterations == 0 {
+            return Err("total_iterations must be positive".into());
+        }
+        if self.segment_iterations == 0 {
+            return Err("segment_iterations must be positive".into());
+        }
+        if self.num_microbatches == 0 {
+            return Err("num_microbatches must be positive".into());
+        }
+        if self.min_workers == 0 {
+            return Err("min_workers must be positive".into());
+        }
+        if self.gpus_per_node == 0 {
+            return Err("gpus_per_node must be positive".into());
+        }
+        if !self.allreduce_overlap.is_finite() || !(0.0..=1.0).contains(&self.allreduce_overlap) {
+            return Err("allreduce_overlap must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// An elastic training job advancing chunk-by-chunk under fleet control.
+pub struct ElasticTrainer {
+    spec: ElasticTrainerSpec,
+    model: Model,
+    engine: Box<dyn DynamismEngine>,
+    state: Option<TrainerState>,
+    last_report: Option<TrainingReport>,
+    world: usize,
+    iterations_done: u64,
+    /// Simulated seconds of training so far.  This is
+    /// `total_time − overhead.algorithm`: the trainer charges the *measured*
+    /// balancer wall-clock into `total_time` (and mirrors exactly those
+    /// seconds into the `algorithm` bucket), so the difference is the fully
+    /// modeled clock — the only clock a deterministic controller may
+    /// schedule against.
+    sim_time: f64,
+    total_tokens: u64,
+    /// `(iteration, trajectory_checksum)` at every chunk boundary — the
+    /// pinning evidence that fleet interference never corrupted the
+    /// trajectory (compare against an undisturbed run's history).
+    checksum_history: Vec<(u64, u64)>,
+    rescales: u64,
+    rescale_cost_total: f64,
+}
+
+impl ElasticTrainer {
+    /// Create the job on `initial_workers` pipeline stages.  The dynamism
+    /// `engine` persists across chunks (its state rides in the checkpoint,
+    /// so chunked execution is bit-identical to one uninterrupted run).
+    pub fn new(
+        spec: ElasticTrainerSpec,
+        engine: Box<dyn DynamismEngine>,
+        initial_workers: usize,
+    ) -> Result<Self, String> {
+        spec.validate()?;
+        if initial_workers < spec.min_workers {
+            return Err(format!(
+                "initial world {initial_workers} below the job's floor of {} workers",
+                spec.min_workers
+            ));
+        }
+        let model = Model::from_preset(spec.preset);
+        Ok(ElasticTrainer {
+            spec,
+            model,
+            engine,
+            state: None,
+            last_report: None,
+            world: initial_workers,
+            iterations_done: 0,
+            sim_time: 0.0,
+            total_tokens: 0,
+            checksum_history: Vec::new(),
+            rescales: 0,
+            rescale_cost_total: 0.0,
+        })
+    }
+
+    fn trainer_config(&self, world: usize) -> TrainerConfig {
+        TrainerConfig {
+            cluster: ClusterConfig::homogeneous(
+                self.spec.gpus_per_node,
+                world,
+                1,
+                self.spec.device,
+            ),
+            schedule: ScheduleKind::OneFOneB,
+            num_iterations: self.spec.total_iterations,
+            num_microbatches: self.spec.num_microbatches,
+            allreduce_overlap: self.spec.allreduce_overlap,
+            objective: BalanceObjective::ByTime,
+            min_workers: 1,
+        }
+    }
+
+    fn controller() -> RebalanceController {
+        RebalanceController::new(
+            Box::new(PartitionBalancer::new()),
+            BalanceObjective::ByTime,
+            RebalancePolicy::dynamic(),
+        )
+    }
+
+    fn run_chunk(&mut self) -> Result<(), String> {
+        let until =
+            (self.iterations_done + self.spec.segment_iterations).min(self.spec.total_iterations);
+        let mut trainer = Trainer::new(
+            self.model.clone(),
+            self.trainer_config(self.world),
+            Self::controller(),
+        );
+        let outcome = trainer.run_segment(self.engine.as_mut(), self.state.as_ref(), until)?;
+        self.iterations_done = until;
+        self.sim_time = outcome.report.total_time - outcome.report.overhead.algorithm;
+        self.total_tokens = outcome.report.total_tokens;
+        self.checksum_history
+            .push((until, outcome.report.trajectory_checksum));
+        self.state = Some(outcome.state);
+        self.last_report = Some(outcome.report);
+        Ok(())
+    }
+
+    /// Run whole chunks until the simulated clock reaches `horizon` (or the
+    /// job completes).  The chunk in flight when the horizon passes still
+    /// finishes — the trainer only yields at boundaries — so on return
+    /// `sim_time() >= horizon` unless the job finished earlier.
+    pub fn advance_to(&mut self, horizon: f64) -> Result<(), String> {
+        while !self.finished() && self.sim_time < horizon {
+            self.run_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Run every remaining chunk.
+    pub fn run_to_completion(&mut self) -> Result<(), String> {
+        self.advance_to(f64::INFINITY)
+    }
+
+    /// Re-scale the job to `new_world` pipeline stages at the current chunk
+    /// boundary, returning the charged checkpoint-write seconds (0 when the
+    /// world is unchanged or training has not started).  The next chunk
+    /// resumes from the boundary iteration on the new world.
+    pub fn rescale(&mut self, new_world: usize) -> Result<f64, String> {
+        if new_world < self.spec.min_workers {
+            return Err(format!(
+                "cannot shrink to {new_world} workers: job floor is {}",
+                self.spec.min_workers
+            ));
+        }
+        if new_world == self.world {
+            return Ok(0.0);
+        }
+        let Some(state) = &self.state else {
+            // Nothing ran yet: the initial world is still free to choose.
+            self.world = new_world;
+            return Ok(0.0);
+        };
+        let cost = self.spec.cost_model.write_cost(state.size_bytes());
+        let rescaled = rescale_trainer_state(state, new_world, cost)?;
+        self.state = Some(rescaled);
+        self.world = new_world;
+        self.sim_time += cost;
+        self.rescales += 1;
+        self.rescale_cost_total += cost;
+        Ok(cost)
+    }
+
+    /// Whether every iteration has run.
+    pub fn finished(&self) -> bool {
+        self.iterations_done >= self.spec.total_iterations
+    }
+
+    /// Current pipeline world size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations_done(&self) -> u64 {
+        self.iterations_done
+    }
+
+    /// Simulated seconds of training so far (modeled clock only; see the
+    /// field note on why measured balancer wall-clock is excluded).
+    pub fn sim_time(&self) -> f64 {
+        self.sim_time
+    }
+
+    /// Tokens processed so far.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Training throughput in tokens per simulated second (0 before the
+    /// first chunk completes).
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.sim_time <= 0.0 {
+            return 0.0;
+        }
+        self.total_tokens as f64 / self.sim_time
+    }
+
+    /// `(iteration, trajectory_checksum)` at every completed chunk boundary.
+    pub fn checksum_history(&self) -> &[(u64, u64)] {
+        &self.checksum_history
+    }
+
+    /// Re-scale events so far.
+    pub fn rescales(&self) -> u64 {
+        self.rescales
+    }
+
+    /// Total checkpoint-write seconds charged by re-scales.
+    pub fn rescale_cost_total(&self) -> f64 {
+        self.rescale_cost_total
+    }
+
+    /// The job's static description.
+    pub fn spec(&self) -> &ElasticTrainerSpec {
+        &self.spec
+    }
+
+    /// The cumulative report at the last chunk boundary, if any ran.
+    pub fn last_report(&self) -> Option<&TrainingReport> {
+        self.last_report.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmo_dynamics::{EarlyExitEngine, EarlyExitMethod};
+
+    fn spec(total: u64, segment: u64) -> ElasticTrainerSpec {
+        ElasticTrainerSpec {
+            preset: ModelPreset::Gpt { layers: 24 },
+            device: DeviceSpec::test_device(16 * 1024 * 1024 * 1024),
+            gpus_per_node: 4,
+            total_iterations: total,
+            segment_iterations: segment,
+            num_microbatches: 8,
+            allreduce_overlap: 0.8,
+            min_workers: 2,
+            cost_model: CheckpointCostModel::default(),
+        }
+    }
+
+    fn engine(seed: u64) -> Box<dyn DynamismEngine> {
+        let model = Model::from_preset(ModelPreset::Gpt { layers: 24 });
+        Box::new(EarlyExitEngine::new(&model, EarlyExitMethod::Calm, seed))
+    }
+
+    #[test]
+    fn undisturbed_chunked_run_matches_a_monolithic_run_bit_for_bit() {
+        let mut chunked = ElasticTrainer::new(spec(60, 10), engine(4), 4).unwrap();
+        chunked.run_to_completion().unwrap();
+        assert!(chunked.finished());
+        assert_eq!(chunked.iterations_done(), 60);
+        assert_eq!(chunked.checksum_history().len(), 6);
+
+        let mut whole = ElasticTrainer::new(spec(60, 60), engine(4), 4).unwrap();
+        whole.run_to_completion().unwrap();
+        assert_eq!(
+            chunked.checksum_history().last().unwrap().1,
+            whole.checksum_history().last().unwrap().1,
+            "chunking must not perturb the trajectory"
+        );
+        assert_eq!(chunked.total_tokens(), whole.total_tokens());
+    }
+
+    #[test]
+    fn rescale_changes_the_world_and_charges_checkpoint_cost() {
+        let mut job = ElasticTrainer::new(spec(40, 10), engine(4), 4).unwrap();
+        job.advance_to(0.0).unwrap(); // sim_time 0.0 already ≥ horizon: no chunk
+        assert_eq!(job.iterations_done(), 0);
+        job.advance_to(f64::MIN_POSITIVE).unwrap();
+        assert_eq!(job.iterations_done(), 10);
+
+        let before = job.sim_time();
+        let cost = job.rescale(2).unwrap();
+        assert!(cost > 0.0, "checkpoint write must cost time");
+        assert_eq!(job.world(), 2);
+        assert!((job.sim_time() - before - cost).abs() < 1e-12);
+        assert_eq!(job.rescales(), 1);
+
+        job.run_to_completion().unwrap();
+        assert!(job.finished());
+        assert_eq!(job.last_report().unwrap().final_active_workers, 2);
+        // No-op rescale and floor violations.
+        assert_eq!(job.rescale(2).unwrap(), 0.0);
+        assert!(job.rescale(1).is_err());
+    }
+
+    #[test]
+    fn rescale_before_any_chunk_is_free() {
+        let mut job = ElasticTrainer::new(spec(20, 10), engine(4), 4).unwrap();
+        assert_eq!(job.rescale(6).unwrap(), 0.0);
+        assert_eq!(job.world(), 6);
+        job.run_to_completion().unwrap();
+        assert_eq!(job.last_report().unwrap().final_active_workers, 6);
+    }
+}

@@ -75,6 +75,9 @@ impl ServeBalancerKind {
 /// Full description of a serving deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingConfig {
+    /// Tenant identity carried into reports, fleet ledger owner tags, and
+    /// telemetry (a multi-tenant fleet runs one deployment per tenant).
+    pub tenant: String,
     /// Model served by every replica.
     pub preset: ModelPreset,
     /// Pipeline stages (GPUs) per replica.
@@ -129,6 +132,7 @@ impl ServingConfig {
     /// model would need six orders of magnitude more traffic to queue).
     pub fn small(initial_replicas: usize) -> Self {
         ServingConfig {
+            tenant: "default".into(),
             preset: ModelPreset::Gpt { layers: 24 },
             stages: 4,
             gpus_per_node: 4,
@@ -240,6 +244,14 @@ impl Replica {
     }
 }
 
+/// Time-weighted GPU occupancy for externally managed deployments.
+struct ExternalGpuMeter {
+    /// ∫ gpus dt up to `sampled_at`.
+    integral: f64,
+    /// Time the integral was last advanced to.
+    sampled_at: f64,
+}
+
 /// The simulated deployment.
 pub struct ServingEngine {
     config: ServingConfig,
@@ -262,7 +274,13 @@ pub struct ServingEngine {
     /// by [`ServingEngine::serve`]); a scaled-out layout must cover it.
     trace_max_kv_need: usize,
     replicas: Vec<Replica>,
-    fleet: MockJobManager,
+    /// Own GPU ledger of a self-managed deployment; `None` when the GPUs
+    /// are granted from outside (a fleet controller's shared pool).
+    fleet: Option<MockJobManager>,
+    /// GPU-time integral for externally managed deployments (the ledger
+    /// normally derives `mean_gpus`; without one, the deployment meters
+    /// its own replica-GPU occupancy over time).
+    external_meter: Option<ExternalGpuMeter>,
     autoscaler: Option<Autoscaler>,
     scale_events: Vec<ScaleEvent>,
     engine_steps: u64,
@@ -350,12 +368,51 @@ impl ServingEngine {
             initial_assignment,
             trace_max_kv_need: 0,
             replicas,
-            fleet,
+            fleet: Some(fleet),
+            external_meter: None,
             autoscaler,
             scale_events: Vec::new(),
             engine_steps: 0,
             recorder: Arc::new(NullRecorder),
         })
+    }
+
+    /// Build an *externally managed* deployment: every replica runs on a
+    /// GPU block granted by an outside owner (a fleet controller's shared
+    /// pool), one block of `config.stages` workers per initial replica.
+    /// The deployment keeps no ledger of its own — scaling happens through
+    /// [`ServingSession::add_external_replica`], [`ServingSession::begin_drain`]
+    /// and [`ServingSession::reclaim_drained`], and `mean_gpus` is metered
+    /// from replica occupancy over time.  The internal autoscaler is
+    /// rejected: exactly one party may own the scaling decisions.
+    pub fn external(config: ServingConfig, blocks: Vec<Vec<usize>>) -> Result<Self, String> {
+        if config.autoscaler.is_some() {
+            return Err("externally managed deployments cannot run their own autoscaler".into());
+        }
+        if blocks.len() != config.initial_replicas {
+            return Err(format!(
+                "{} worker blocks for {} initial replicas",
+                blocks.len(),
+                config.initial_replicas
+            ));
+        }
+        if let Some(bad) = blocks.iter().find(|b| b.len() != config.stages) {
+            return Err(format!(
+                "worker block of {} GPUs cannot back a {}-stage replica",
+                bad.len(),
+                config.stages
+            ));
+        }
+        let mut engine = ServingEngine::new(config)?;
+        engine.fleet = None;
+        engine.external_meter = Some(ExternalGpuMeter {
+            integral: 0.0,
+            sampled_at: 0.0,
+        });
+        for (replica, block) in engine.replicas.iter_mut().zip(blocks) {
+            replica.workers = block;
+        }
+        Ok(engine)
     }
 
     /// Attach a telemetry recorder: engine steps become per-replica spans,
@@ -380,10 +437,25 @@ impl ServingEngine {
     /// trace needs a fresh [`ServingEngine`] (or the [`serve`] wrapper) —
     /// by-value `self` makes silent metric corruption impossible.
     pub fn serve(
-        mut self,
+        self,
         trace: &RequestTrace,
         mut engine: Option<&mut dyn DynamismEngine>,
     ) -> ServingReport {
+        let mut session = self.session(trace);
+        while session.step(match engine {
+            Some(ref mut e) => Some(&mut **e),
+            None => None,
+        }) {}
+        session.finish()
+    }
+
+    /// Open an incremental serving session over `trace`: the same
+    /// simulation [`ServingEngine::serve`] runs to completion, exposed one
+    /// engine step at a time so an outside scheduler (the fleet
+    /// controller) can interleave it with other work on a shared clock.
+    /// Stepping a session to the end and calling [`ServingSession::finish`]
+    /// is bit-identical to `serve`.
+    pub fn session(mut self, trace: &RequestTrace) -> ServingSession {
         // A request must fit one replica's KV budget under the same
         // reservation rule admission control applies (a sliding attention
         // window caps the footprint of long requests).
@@ -399,131 +471,33 @@ impl ServingEngine {
         );
         self.trace_max_kv_need = max_need;
         let total = trace.num_requests();
-        let mut records: Vec<RequestRecord> = if self.config.retain_records {
+        let records = if self.config.retain_records {
             Vec::with_capacity(total)
         } else {
             Vec::new()
         };
-        // SLO metrics are accumulated online: streaming sketches for the
-        // three latency series (exact while small, O(1) P² beyond) and a
-        // plain counter for SLO attainment, so the report never needs the
-        // full record vector.
-        let mut ttft_summary = StreamingSummary::new();
-        let mut tpot_summary = StreamingSummary::new();
-        let mut latency_summary = StreamingSummary::new();
-        let mut slo_met = 0u64;
-        let mut completed_count = 0usize;
-        let slo = self.config.slo;
-        let recorder = Arc::clone(&self.recorder);
-        // The gateway: a single FCFS queue over the trace.  Requests stay
-        // here until a replica pulls them through admission control, so a
-        // replica provisioned mid-spike immediately relieves the backlog.
-        let mut gateway = 0usize;
-        let mut makespan = 0.0f64;
-
-        loop {
-            let gateway_front = trace.requests.get(gateway).map(|r| r.arrival);
-            // The earliest-ready replica acts next.
-            let Some((idx, start)) = self
-                .replicas
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| r.next_action_time(gateway_front).map(|t| (i, t)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
-            else {
-                break;
-            };
-
-            // Pull from the gateway (FCFS) while admission control allows.
-            if !self.replicas[idx].draining {
-                while let Some(request) = trace.requests.get(gateway) {
-                    if request.arrival > start
-                        || !self.replicas[idx].batcher.try_admit(*request, start)
-                    {
-                        break;
-                    }
-                    gateway += 1;
-                }
-            }
-
-            let update = match engine.as_deref_mut() {
-                Some(e) => {
-                    let u = e.inference_step(self.engine_steps);
-                    u.validate().expect("inference update is valid");
-                    u
-                }
-                None => LoadUpdate::identity(self.model.num_layers()),
-            };
-            let plan = self.replicas[idx]
-                .batcher
-                .plan_step(start)
-                .expect("next_action_time implies runnable work");
-            let duration = self.price_step(idx, &plan, &update);
-            let end = start + duration;
-            self.replicas[idx].clock = end;
-            self.engine_steps += 1;
-            self.latest_update = update;
-            makespan = makespan.max(end);
-            if recorder.enabled() {
-                let name = format!("step p{} d{}", plan.prefill_tokens, plan.decode_tokens);
-                recorder.span(0, idx, &name, start, end);
-            }
-
-            let completed = self.replicas[idx].batcher.commit_step(&plan, idx, end);
-            for record in completed {
-                if let Some(scaler) = &mut self.autoscaler {
-                    scaler.record_completion(end, record.ttft());
-                }
-                ttft_summary.observe(record.ttft());
-                tpot_summary.observe(record.tpot());
-                latency_summary.observe(record.latency());
-                if slo.met_by(&record) {
-                    slo_met += 1;
-                }
-                completed_count += 1;
-                if self.config.retain_records {
-                    records.push(record);
-                }
-            }
-
-            if self.autoscaler.is_some() {
-                // Evaluate on the monotone observation clock (`makespan` =
-                // the latest step end seen so far): steps are executed in
-                // start-time order, so raw `end`s can interleave backward,
-                // and both the scale-event log and the fleet ledger assume
-                // non-decreasing timestamps.
-                let now = makespan;
-                // The backlog scan is O(arrived-but-unadmitted); only pay
-                // it on steps where a policy check is actually due.
-                if self.autoscaler.as_ref().is_some_and(|s| s.check_due(now)) {
-                    let mut gateway_tokens = 0usize;
-                    let mut oldest_wait = 0.0f64;
-                    for (i, request) in trace.requests[gateway..].iter().enumerate() {
-                        if request.arrival > now {
-                            break;
-                        }
-                        if i == 0 {
-                            oldest_wait = (now - request.arrival).max(0.0);
-                        }
-                        gateway_tokens += request.total_tokens();
-                    }
-                    self.autoscale(now, gateway_tokens, oldest_wait);
-                }
-                self.release_drained(now);
-            }
-        }
-
-        assert_eq!(completed_count, total, "the scheduler conserves requests");
-        self.build_report(
-            trace,
+        ServingSession {
+            engine: self,
+            trace: trace.clone(),
             records,
-            completed_count,
-            makespan,
-            &ttft_summary,
-            &tpot_summary,
-            &latency_summary,
-            slo_met,
-        )
+            // SLO metrics are accumulated online: streaming sketches for
+            // the three latency series (exact while small, O(1) P² beyond)
+            // and a plain counter for SLO attainment, so the report never
+            // needs the full record vector.
+            ttft_summary: StreamingSummary::new(),
+            tpot_summary: StreamingSummary::new(),
+            latency_summary: StreamingSummary::new(),
+            slo_met: 0,
+            completed_count: 0,
+            // The gateway: a single FCFS queue over the trace.  Requests
+            // stay here until a replica pulls them through admission
+            // control, so a replica provisioned mid-spike immediately
+            // relieves the backlog.
+            gateway: 0,
+            makespan: 0.0,
+            completions: Vec::new(),
+            finished: false,
+        }
     }
 
     /// Price one engine step of replica `idx` under the current dynamism
@@ -639,36 +613,18 @@ impl ServingEngine {
     /// fleet may have no free block while a draining replica still holds
     /// its GPUs).
     fn scale_out(&mut self, now: f64, observed_ttft_p99: f64, backlog_tokens: usize) -> bool {
-        if self.fleet.available() < self.config.stages {
-            return false; // fleet exhausted
-        }
-        self.fleet.set_iteration(fleet_clock(now));
-        let workers = self.fleet.acquire(self.config.stages);
-        debug_assert_eq!(workers.len(), self.config.stages);
-        // Re-partition for the new replica against the *current* load
-        // shape (e.g. early exit has shifted work toward early layers) —
-        // and price the new layout's own KV capacity, since a skewed
-        // layout can concentrate more KV-caching layers on one stage than
-        // the initial layout did.  If the new layout cannot serve the
-        // trace's largest request (or prices no capacity at all), fall
-        // back to the initial layout, which was validated up front.
-        let loads = profile_layers(&self.model, &self.latest_update, &self.config.device);
-        let request = BalanceRequest::new(
-            &loads,
-            self.config.stages,
-            self.config.device.memory_capacity,
-            BalanceObjective::ByTime,
-        )
-        .with_inflight(vec![1; self.config.stages]);
-        let candidate = self.balancer.rebalance(&request).assignment;
-        let kv_model = KvCacheModel::new(self.model.config().clone());
-        let (assignment, capacity) =
-            match kv_capacity(&self.model, &kv_model, &self.config, &candidate) {
-                // Capping at the initial layout's capacity keeps the
-                // report-level invariant (peak KV ≤ reported capacity).
-                Ok(c) if c >= self.trace_max_kv_need => (candidate, c.min(self.kv_capacity_tokens)),
-                _ => (self.initial_assignment.clone(), self.kv_capacity_tokens),
+        let workers = {
+            let Some(fleet) = self.fleet.as_mut() else {
+                return false; // externally managed: scaling happens outside
             };
+            if fleet.available() < self.config.stages {
+                return false; // fleet exhausted
+            }
+            fleet.set_iteration(fleet_clock(now));
+            fleet.acquire(self.config.stages)
+        };
+        debug_assert_eq!(workers.len(), self.config.stages);
+        let (assignment, capacity) = self.replica_layout();
         let provision_delay = self
             .config
             .autoscaler
@@ -710,6 +666,57 @@ impl ServingEngine {
         true
     }
 
+    /// Lay out a new replica against the *current* dynamism state (e.g.
+    /// early exit has shifted work toward early layers) — and price the
+    /// new layout's own KV capacity, since a skewed layout can concentrate
+    /// more KV-caching layers on one stage than the initial layout did.
+    /// If the new layout cannot serve the trace's largest request (or
+    /// prices no capacity at all), fall back to the initial layout, which
+    /// was validated up front.
+    fn replica_layout(&self) -> (StageAssignment, usize) {
+        let loads = profile_layers(&self.model, &self.latest_update, &self.config.device);
+        let request = BalanceRequest::new(
+            &loads,
+            self.config.stages,
+            self.config.device.memory_capacity,
+            BalanceObjective::ByTime,
+        )
+        .with_inflight(vec![1; self.config.stages]);
+        let candidate = self.balancer.rebalance(&request).assignment;
+        let kv_model = KvCacheModel::new(self.model.config().clone());
+        match kv_capacity(&self.model, &kv_model, &self.config, &candidate) {
+            // Capping at the initial layout's capacity keeps the
+            // report-level invariant (peak KV ≤ reported capacity).
+            Ok(c) if c >= self.trace_max_kv_need => (candidate, c.min(self.kv_capacity_tokens)),
+            _ => (self.initial_assignment.clone(), self.kv_capacity_tokens),
+        }
+    }
+
+    /// Advance the external GPU-time integral to `now` at the *current*
+    /// replica set (call before the set changes).  No-op for self-managed
+    /// deployments, whose ledger already carries the occupancy history.
+    fn note_gpu_change(&mut self, now: f64) {
+        let gpus: usize = self
+            .replicas
+            .iter()
+            .filter(|r| !r.released)
+            .map(|r| r.workers.len())
+            .sum();
+        if let Some(meter) = &mut self.external_meter {
+            meter.integral += gpus as f64 * (now - meter.sampled_at).max(0.0);
+            meter.sampled_at = meter.sampled_at.max(now);
+        }
+    }
+
+    /// Outstanding (admitted, unfinished) tokens across live replicas.
+    fn outstanding_tokens(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| !r.released)
+            .map(|r| r.batcher.outstanding_tokens())
+            .sum()
+    }
+
     /// Return the GPUs of drained replicas to the fleet, logging one
     /// scale-in event per released replica.
     fn release_drained(&mut self, now: f64) {
@@ -719,9 +726,13 @@ impl ServingEngine {
                 r.draining && !r.released && !r.batcher.has_work() && r.clock <= now
             };
             if drained {
-                self.fleet.set_iteration(fleet_clock(now));
+                let fleet = self
+                    .fleet
+                    .as_mut()
+                    .expect("self-managed scaling implies an own ledger");
+                fleet.set_iteration(fleet_clock(now));
                 let workers = self.replicas[idx].workers.clone();
-                self.fleet
+                fleet
                     .try_release(&workers)
                     .expect("replica workers are allocated");
                 self.replicas[idx].released = true;
@@ -776,6 +787,14 @@ impl ServingEngine {
     ) -> ServingReport {
         let slo = self.config.slo;
         let span = makespan.max(f64::MIN_POSITIVE);
+        // Close the external GPU-time integral at the makespan (no-op for
+        // self-managed deployments).
+        self.note_gpu_change(makespan);
+        let mean_gpus = match (&self.fleet, &self.external_meter) {
+            (Some(fleet), _) => fleet.average_allocated(fleet_clock(makespan).max(1)),
+            (None, Some(meter)) => meter.integral / span,
+            (None, None) => 0.0,
+        };
         let total_output_tokens: u64 = self
             .replicas
             .iter()
@@ -794,6 +813,7 @@ impl ServingEngine {
             .unwrap_or(0);
         ServingReport {
             trace: trace.label.clone(),
+            tenant: self.config.tenant.clone(),
             requests: trace.num_requests(),
             completed,
             makespan,
@@ -808,7 +828,7 @@ impl ServingEngine {
             total_output_tokens,
             total_prefill_tokens,
             engine_steps: self.engine_steps,
-            mean_gpus: self.fleet.average_allocated(fleet_clock(makespan).max(1)),
+            mean_gpus,
             peak_replicas: self.peak_replicas,
             scale_events: std::mem::take(&mut self.scale_events),
             kv_capacity_tokens: self.kv_capacity_tokens,
@@ -818,8 +838,416 @@ impl ServingEngine {
     }
 }
 
-/// The fleet ledger timestamps in milliseconds (its "iteration" axis).
-fn fleet_clock(time: f64) -> u64 {
+/// A point-in-time view of the gateway's un-admitted FCFS backlog.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GatewaySnapshot {
+    /// Arrived-but-unadmitted requests.
+    pub requests: usize,
+    /// Their total (prompt + output) tokens.
+    pub tokens: usize,
+    /// Seconds the queue's front request has been waiting.
+    pub oldest_wait: f64,
+}
+
+/// An in-flight serving run: the engine, its trace, and every accumulator
+/// [`ServingEngine::serve`] keeps, exposed one engine step at a time so an
+/// outside scheduler can interleave serving with other work on a shared
+/// clock.  Obtained from [`ServingEngine::session`]; stepping to the end
+/// and calling [`ServingSession::finish`] reproduces `serve` bit-for-bit.
+pub struct ServingSession {
+    engine: ServingEngine,
+    trace: RequestTrace,
+    records: Vec<RequestRecord>,
+    ttft_summary: StreamingSummary,
+    tpot_summary: StreamingSummary,
+    latency_summary: StreamingSummary,
+    slo_met: u64,
+    completed_count: usize,
+    gateway: usize,
+    makespan: f64,
+    /// `(completion time, TTFT)` of requests finished since the last
+    /// [`ServingSession::take_completions`] — only accumulated for
+    /// externally managed deployments, so self-managed runs stay O(1).
+    completions: Vec<(f64, f64)>,
+    finished: bool,
+}
+
+impl ServingSession {
+    /// Execute the next engine step, wherever it falls on the clock.
+    /// Returns `false` once the trace is fully served.
+    pub fn step(&mut self, dynamism: Option<&mut dyn DynamismEngine>) -> bool {
+        self.step_bounded(f64::INFINITY, dynamism)
+    }
+
+    /// Execute every engine step that *starts* at or before `horizon`,
+    /// then stop.  Returns `true` when the whole trace has been served
+    /// (no work remains at any time).
+    pub fn run_until(
+        &mut self,
+        horizon: f64,
+        mut dynamism: Option<&mut dyn DynamismEngine>,
+    ) -> bool {
+        while self.step_bounded(
+            horizon,
+            match dynamism {
+                Some(ref mut e) => Some(&mut **e),
+                None => None,
+            },
+        ) {}
+        self.finished
+    }
+
+    /// One iteration of the serve loop, gated on the start time of the
+    /// earliest runnable step.  The body is the exact op sequence the
+    /// monolithic `serve` loop ran — bit-identity depends on it.
+    fn step_bounded(&mut self, horizon: f64, dynamism: Option<&mut dyn DynamismEngine>) -> bool {
+        if self.finished {
+            return false;
+        }
+        let gateway_front = self.trace.requests.get(self.gateway).map(|r| r.arrival);
+        // The earliest-ready replica acts next.
+        let Some((idx, start)) = self
+            .engine
+            .replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.next_action_time(gateway_front).map(|t| (i, t)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+        else {
+            self.finished = true;
+            return false;
+        };
+        if start > horizon {
+            return false;
+        }
+
+        // Pull from the gateway (FCFS) while admission control allows.
+        if !self.engine.replicas[idx].draining {
+            while let Some(request) = self.trace.requests.get(self.gateway) {
+                if request.arrival > start
+                    || !self.engine.replicas[idx].batcher.try_admit(*request, start)
+                {
+                    break;
+                }
+                self.gateway += 1;
+            }
+        }
+
+        let update = match dynamism {
+            Some(e) => {
+                let u = e.inference_step(self.engine.engine_steps);
+                u.validate().expect("inference update is valid");
+                u
+            }
+            None => LoadUpdate::identity(self.engine.model.num_layers()),
+        };
+        let plan = self.engine.replicas[idx]
+            .batcher
+            .plan_step(start)
+            .expect("next_action_time implies runnable work");
+        let duration = self.engine.price_step(idx, &plan, &update);
+        let end = start + duration;
+        self.engine.replicas[idx].clock = end;
+        self.engine.engine_steps += 1;
+        self.engine.latest_update = update;
+        self.makespan = self.makespan.max(end);
+        if self.engine.recorder.enabled() {
+            let name = format!("step p{} d{}", plan.prefill_tokens, plan.decode_tokens);
+            self.engine.recorder.span(0, idx, &name, start, end);
+        }
+
+        let completed = self.engine.replicas[idx]
+            .batcher
+            .commit_step(&plan, idx, end);
+        for record in completed {
+            if let Some(scaler) = &mut self.engine.autoscaler {
+                scaler.record_completion(end, record.ttft());
+            }
+            self.ttft_summary.observe(record.ttft());
+            self.tpot_summary.observe(record.tpot());
+            self.latency_summary.observe(record.latency());
+            if self.engine.config.slo.met_by(&record) {
+                self.slo_met += 1;
+            }
+            self.completed_count += 1;
+            if self.engine.external_meter.is_some() {
+                self.completions.push((end, record.ttft()));
+            }
+            if self.engine.config.retain_records {
+                self.records.push(record);
+            }
+        }
+
+        if self.engine.autoscaler.is_some() {
+            // Evaluate on the monotone observation clock (`makespan` =
+            // the latest step end seen so far): steps are executed in
+            // start-time order, so raw `end`s can interleave backward,
+            // and both the scale-event log and the fleet ledger assume
+            // non-decreasing timestamps.
+            let now = self.makespan;
+            // The backlog scan is O(arrived-but-unadmitted); only pay
+            // it on steps where a policy check is actually due.
+            if self
+                .engine
+                .autoscaler
+                .as_ref()
+                .is_some_and(|s| s.check_due(now))
+            {
+                let backlog = self.gateway_backlog(now);
+                self.engine
+                    .autoscale(now, backlog.tokens, backlog.oldest_wait);
+            }
+            self.engine.release_drained(now);
+        }
+        true
+    }
+
+    /// Assemble the final report.  Requires the session to have run to
+    /// completion (`step` returned `false` / `run_until` returned `true`).
+    pub fn finish(mut self) -> ServingReport {
+        assert!(
+            self.finished,
+            "finish() requires the session to have served the whole trace"
+        );
+        assert_eq!(
+            self.completed_count,
+            self.trace.num_requests(),
+            "the scheduler conserves requests"
+        );
+        let records = std::mem::take(&mut self.records);
+        self.engine.build_report(
+            &self.trace,
+            records,
+            self.completed_count,
+            self.makespan,
+            &self.ttft_summary,
+            &self.tpot_summary,
+            &self.latency_summary,
+            self.slo_met,
+        )
+    }
+
+    /// Whether the whole trace has been served.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Start time of the earliest runnable engine step, `None` when done.
+    pub fn next_action_time(&self) -> Option<f64> {
+        if self.finished {
+            return None;
+        }
+        let gateway_front = self.trace.requests.get(self.gateway).map(|r| r.arrival);
+        self.engine
+            .replicas
+            .iter()
+            .filter_map(|r| r.next_action_time(gateway_front))
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+
+    /// The tenant this session serves.
+    pub fn tenant(&self) -> &str {
+        &self.engine.config.tenant
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.engine.config
+    }
+
+    /// Replicas serving or provisioning (not draining, not released).
+    pub fn live_replicas(&self) -> usize {
+        self.engine.live_replicas()
+    }
+
+    /// Replicas draining toward release.
+    pub fn draining_replicas(&self) -> usize {
+        self.engine
+            .replicas
+            .iter()
+            .filter(|r| r.draining && !r.released)
+            .count()
+    }
+
+    /// Admitted-but-unfinished tokens across live replicas.
+    pub fn outstanding_tokens(&self) -> usize {
+        self.engine.outstanding_tokens()
+    }
+
+    /// Per-replica KV capacity in tokens.
+    pub fn kv_capacity_tokens(&self) -> usize {
+        self.engine.kv_capacity_tokens
+    }
+
+    /// Requests served to completion so far.
+    pub fn completed_requests(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Requests in the trace.
+    pub fn total_requests(&self) -> usize {
+        self.trace.num_requests()
+    }
+
+    /// Latest step end seen so far (the monotone observation clock).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The gateway's un-admitted backlog as of `now`.
+    pub fn gateway_backlog(&self, now: f64) -> GatewaySnapshot {
+        let mut snapshot = GatewaySnapshot::default();
+        for (i, request) in self.trace.requests[self.gateway..].iter().enumerate() {
+            if request.arrival > now {
+                break;
+            }
+            if i == 0 {
+                snapshot.oldest_wait = (now - request.arrival).max(0.0);
+            }
+            snapshot.requests += 1;
+            snapshot.tokens += request.total_tokens();
+        }
+        snapshot
+    }
+
+    /// Drain the `(completion time, TTFT)` pairs of requests finished
+    /// since the previous call (externally managed deployments only —
+    /// self-managed sessions keep no completion log).
+    pub fn take_completions(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Bring a new replica online over an externally granted GPU block:
+    /// laid out against the current dynamism state (same policy as an
+    /// autoscaler scale-out), accepting work from `ready_at`.
+    /// `observed_ttft_p99` is the caller's SLO reading, logged with the
+    /// scale event.  Errors on self-managed deployments and wrongly sized
+    /// blocks.
+    pub fn add_external_replica(
+        &mut self,
+        workers: Vec<usize>,
+        now: f64,
+        ready_at: f64,
+        observed_ttft_p99: f64,
+    ) -> Result<(), String> {
+        let engine = &mut self.engine;
+        if engine.fleet.is_some() {
+            return Err("self-managed deployments own their scaling".into());
+        }
+        if workers.len() != engine.config.stages {
+            return Err(format!(
+                "worker block of {} GPUs cannot back a {}-stage replica",
+                workers.len(),
+                engine.config.stages
+            ));
+        }
+        engine.note_gpu_change(now);
+        let (assignment, capacity) = engine.replica_layout();
+        let online_at = ready_at.max(now);
+        engine.replicas.push(Replica {
+            batcher: ContinuousBatcher::new(BatcherConfig {
+                kv_capacity_tokens: capacity,
+                ..engine.batcher_config
+            }),
+            assignment,
+            clock: online_at,
+            ready_at: online_at,
+            draining: false,
+            released: false,
+            workers,
+        });
+        let live = engine.live_replicas();
+        engine.peak_replicas = engine.peak_replicas.max(live);
+        let backlog_tokens = engine.outstanding_tokens();
+        engine.scale_events.push(ScaleEvent {
+            time: now,
+            delta: 1,
+            replicas_after: live,
+            observed_ttft_p99,
+            backlog_tokens,
+        });
+        engine.recorder.instant(
+            0,
+            MarkerKind::ScaleOut,
+            &format!("to {live} replicas"),
+            now,
+            &[
+                ("ttft_p99", format!("{observed_ttft_p99:.4}")),
+                ("backlog_tokens", backlog_tokens.to_string()),
+            ],
+        );
+        engine
+            .recorder
+            .counter(0, "live_replicas", now, live as f64);
+        Ok(())
+    }
+
+    /// Start draining the live replica with the least outstanding work
+    /// (the same victim rule the autoscaler's scale-in uses); its GPUs
+    /// come back through [`ServingSession::reclaim_drained`] once it
+    /// empties.  Returns the replica index, or `None` with no live
+    /// replica to drain.
+    pub fn begin_drain(&mut self) -> Option<usize> {
+        let victim = self
+            .engine
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.released && !r.draining)
+            .min_by_key(|(_, r)| r.batcher.outstanding_tokens())
+            .map(|(i, _)| i)?;
+        self.engine.replicas[victim].draining = true;
+        Some(victim)
+    }
+
+    /// Collect the GPU blocks of replicas that have finished draining as
+    /// of `now` (externally managed deployments only), logging one
+    /// scale-in event per reclaimed replica.  The caller returns the
+    /// blocks to whatever pool granted them.
+    pub fn reclaim_drained(&mut self, now: f64) -> Vec<Vec<usize>> {
+        let engine = &mut self.engine;
+        if engine.fleet.is_some() {
+            return Vec::new(); // self-managed: release_drained owns this
+        }
+        let mut freed = Vec::new();
+        for idx in 0..engine.replicas.len() {
+            let drained = {
+                let r = &engine.replicas[idx];
+                r.draining && !r.released && !r.batcher.has_work() && r.clock <= now
+            };
+            if drained {
+                engine.note_gpu_change(now);
+                engine.replicas[idx].released = true;
+                let workers = std::mem::take(&mut engine.replicas[idx].workers);
+                let live = engine.live_replicas();
+                let backlog_tokens = engine.outstanding_tokens();
+                engine.scale_events.push(ScaleEvent {
+                    time: now,
+                    delta: -1,
+                    replicas_after: live,
+                    observed_ttft_p99: 0.0,
+                    backlog_tokens,
+                });
+                engine.recorder.instant(
+                    0,
+                    MarkerKind::ScaleIn,
+                    &format!("to {live} replicas"),
+                    now,
+                    &[("backlog_tokens", backlog_tokens.to_string())],
+                );
+                engine
+                    .recorder
+                    .counter(0, "live_replicas", now, live as f64);
+                freed.push(workers);
+            }
+        }
+        freed
+    }
+}
+
+/// The fleet ledger timestamps in milliseconds (its "iteration" axis) —
+/// shared with fleet controllers so every party stamps the same clock.
+pub fn fleet_clock(time: f64) -> u64 {
     (time * 1000.0).round().max(0.0) as u64
 }
 

@@ -33,6 +33,9 @@ pub mod trace;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig, LoadSignals, ScaleDecision, ScaleEvent};
 pub use batching::{BatcherConfig, ContinuousBatcher, StepPlan};
-pub use engine::{serve, ServeBalancerKind, ServingConfig, ServingEngine};
+pub use engine::{
+    fleet_clock, serve, GatewaySnapshot, ServeBalancerKind, ServingConfig, ServingEngine,
+    ServingSession,
+};
 pub use metrics::{percentile, LatencySummary, RequestRecord, ServingReport, SloTarget};
 pub use trace::{ArrivalProcess, LengthModel, Request, RequestTrace};

@@ -146,6 +146,9 @@ impl LatencySummary {
 pub struct ServingReport {
     /// Trace label.
     pub trace: String,
+    /// Tenant the deployment served (from [`crate::ServingConfig::tenant`];
+    /// `"default"` for single-tenant deployments).
+    pub tenant: String,
     /// Requests in the trace.
     pub requests: usize,
     /// Requests served to completion (always equals `requests`; the

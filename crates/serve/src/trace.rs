@@ -236,6 +236,75 @@ impl RequestTrace {
         })
     }
 
+    /// Phase-shift every arrival by `offset` seconds modulo `period`,
+    /// keeping the request population (lengths included) intact.  This is
+    /// how several tenants share one diurnal day from independent seeds
+    /// without correlated spikes: each tenant offsets its own generated
+    /// trace by a different phase, so their crests land at different wall
+    /// times.  Requests are re-sorted by their new arrivals (stable, so
+    /// same-instant requests keep their relative order) and re-numbered.
+    pub fn time_offset(&self, offset: f64, period: f64) -> RequestTrace {
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "offset period must be positive and finite"
+        );
+        assert!(offset.is_finite(), "offset must be finite");
+        let mut requests = self.requests.clone();
+        for request in &mut requests {
+            request.arrival = (request.arrival + offset).rem_euclid(period);
+        }
+        requests.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("arrivals are finite")
+        });
+        for (i, request) in requests.iter_mut().enumerate() {
+            request.id = i as u64;
+        }
+        RequestTrace {
+            label: self.label.clone(),
+            requests,
+        }
+    }
+
+    /// Stretch (`factor > 1`) or compress (`factor < 1`) the trace's time
+    /// axis: every arrival is multiplied by `factor`.  Order and ids are
+    /// unchanged; lengths are untouched.
+    pub fn scale_time(&self, factor: f64) -> RequestTrace {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "time scale factor must be positive and finite"
+        );
+        let mut requests = self.requests.clone();
+        for request in &mut requests {
+            request.arrival *= factor;
+        }
+        RequestTrace {
+            label: self.label.clone(),
+            requests,
+        }
+    }
+
+    /// Deterministic k-way merge of several traces into one time-ordered
+    /// trace.  Ties on arrival are broken by source order (stable sort), so
+    /// the merge of the same inputs is always byte-identical; ids are
+    /// re-assigned in merged arrival order.
+    pub fn merge(label: &str, traces: &[RequestTrace]) -> RequestTrace {
+        let mut requests: Vec<Request> = traces.iter().flat_map(|t| t.requests.clone()).collect();
+        requests.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("arrivals are finite")
+        });
+        for (i, request) in requests.iter_mut().enumerate() {
+            request.id = i as u64;
+        }
+        RequestTrace {
+            label: label.to_string(),
+            requests,
+        }
+    }
+
     /// Number of requests in the trace.
     pub fn num_requests(&self) -> usize {
         self.requests.len()
@@ -360,6 +429,77 @@ mod tests {
             ..lengths
         };
         assert_eq!(fixed.sample(&mut rng), (100, 50));
+    }
+
+    #[test]
+    fn trace_mixing_is_seed_pinned_and_decorrelates_spikes() {
+        // Two tenants draw independent diurnal days from their own seeds;
+        // tenant B phase-shifts by half a period so the crests never
+        // coincide.  The whole construction is deterministic in the seeds.
+        let period = 100.0;
+        let day = ArrivalProcess::Diurnal {
+            mean_rate: 4.0,
+            amplitude: 0.8,
+            period,
+        };
+        let lengths = LengthModel::chat_default();
+        let build = || {
+            let a = RequestTrace::generate(&day, period, &lengths, 101);
+            let b = RequestTrace::generate(&day, period, &lengths, 202).time_offset(50.0, period);
+            (a, b)
+        };
+        let (a1, b1) = build();
+        let (a2, b2) = build();
+        assert_eq!(a1, a2, "mixing must be deterministic in the seed");
+        assert_eq!(b1, b2, "offset traces must be deterministic in the seed");
+
+        // The offset moved tenant B's crest into tenant A's trough: in the
+        // first half-period A is busy and B is quiet, and vice versa.
+        let first_half = |t: &RequestTrace| t.requests.iter().filter(|r| r.arrival < 50.0).count();
+        let a_crest = first_half(&a1);
+        let b_crest = first_half(&b1);
+        assert!(
+            a_crest * 2 > a1.num_requests(),
+            "A peaks early: {a_crest}/{}",
+            a1.num_requests()
+        );
+        assert!(
+            b_crest * 2 < b1.num_requests(),
+            "B peaks late: {b_crest}/{}",
+            b1.num_requests()
+        );
+
+        // The offset is a pure phase shift: the request population (and so
+        // the total token mass) is untouched.
+        let b_raw = RequestTrace::generate(&day, period, &lengths, 202);
+        assert_eq!(b1.num_requests(), b_raw.num_requests());
+        assert_eq!(b1.total_tokens(), b_raw.total_tokens());
+
+        // Merging keeps every request, sorts by arrival, re-ids in order.
+        let merged = RequestTrace::merge("mixed", &[a1.clone(), b1.clone()]);
+        assert_eq!(merged.label, "mixed");
+        assert_eq!(merged.num_requests(), a1.num_requests() + b1.num_requests());
+        assert_eq!(merged.total_tokens(), a1.total_tokens() + b1.total_tokens());
+        for (i, w) in merged.requests.windows(2).enumerate() {
+            assert!(w[1].arrival >= w[0].arrival, "merge unsorted at {i}");
+        }
+        for (i, r) in merged.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        // ... and is itself deterministic, byte for byte.
+        let again = RequestTrace::merge("mixed", &[a2, b2]);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+
+        // scale_time stretches arrivals without touching order or lengths.
+        let slow = merged.scale_time(2.0);
+        assert_eq!(slow.num_requests(), merged.num_requests());
+        assert_eq!(slow.total_tokens(), merged.total_tokens());
+        let last = merged.requests.last().unwrap();
+        let slow_last = slow.requests.last().unwrap();
+        assert!((slow_last.arrival - 2.0 * last.arrival).abs() < 1e-12);
     }
 
     #[test]

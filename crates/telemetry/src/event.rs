@@ -53,6 +53,15 @@ pub enum MarkerKind {
     StragglerDetected,
     /// A spot/preemptible rank received an eviction warning.
     EvictionWarning,
+    /// A fleet controller took GPUs away from the training job to relieve
+    /// a serving tenant's SLO breach.
+    GpuSteal,
+    /// A fleet controller returned GPUs to the training job in a serving
+    /// trough.
+    GpuReturn,
+    /// A fleet controller drained a lower-priority serving tenant to free
+    /// GPUs for a higher-priority one.
+    Preemption,
     /// Anything else worth a timeline pin.
     Info,
 }
@@ -70,6 +79,9 @@ impl MarkerKind {
             MarkerKind::Fault => "fault",
             MarkerKind::StragglerDetected => "straggler_detected",
             MarkerKind::EvictionWarning => "eviction_warning",
+            MarkerKind::GpuSteal => "gpu_steal",
+            MarkerKind::GpuReturn => "gpu_return",
+            MarkerKind::Preemption => "preemption",
             MarkerKind::Info => "info",
         }
     }
